@@ -1,0 +1,45 @@
+# DNA Storage Toolkit — common developer entry points.
+
+GO ?= go
+
+.PHONY: all build test test-short vet fmt bench experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Microbenchmarks in every package plus the table/figure reproduction
+# benchmarks at the repository root.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Regenerate every table and figure of the paper at full scale.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -run all -quick
+
+# Smoke-run every example binary.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/imagemap
+	$(GO) run ./examples/wetlabreplay
+	$(GO) run ./examples/clustertuning
+	$(GO) run ./examples/randomaccess
+
+clean:
+	$(GO) clean ./...

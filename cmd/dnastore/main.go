@@ -1,0 +1,468 @@
+// Command dnastore drives the DNA storage pipeline from the command line.
+// Each module of the pipeline (§III of the paper) is a subcommand, so the
+// stages can be run individually with intermediate files, or end-to-end:
+//
+//	dnastore encode     -in file.bin   -out strands.txt
+//	dnastore simulate   -in strands.txt -out reads.txt -rate 0.06 -coverage 10
+//	dnastore cluster    -in reads.txt  -out clusters.txt
+//	dnastore reconstruct -in clusters.txt -out recon.txt -algo nw
+//	dnastore decode     -in recon.txt  -out file.out
+//	dnastore pipeline   -in file.bin   -out file.out          # all of the above
+//
+// Intermediate formats: strands/reads are one sequence per line; cluster
+// files separate clusters with blank lines. Sequences use ACGT letters.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/core"
+	"dnastore/internal/dna"
+	"dnastore/internal/fastq"
+	"dnastore/internal/primer"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "encode":
+		err = cmdEncode(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "reconstruct":
+		err = cmdReconstruct(os.Args[2:])
+	case "preprocess":
+		err = cmdPreprocess(os.Args[2:])
+	case "decode":
+		err = cmdDecode(os.Args[2:])
+	case "pipeline":
+		err = cmdPipeline(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnastore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dnastore <encode|simulate|preprocess|cluster|reconstruct|decode|pipeline> [flags]
+run "dnastore <subcommand> -h" for flags`)
+}
+
+// codecFlags registers the shared codec parameters on fs.
+func codecFlags(fs *flag.FlagSet) *codec.Params {
+	p := &codec.Params{}
+	fs.IntVar(&p.N, "n", 150, "molecules per encoding unit")
+	fs.IntVar(&p.K, "k", 120, "data molecules per unit (rest is RS parity)")
+	fs.IntVar(&p.PayloadBytes, "payload", 30, "payload bytes per molecule (4 bases each)")
+	fs.Uint64Var(&p.Seed, "codec-seed", 42, "scrambler seed (must match between encode and decode)")
+	fs.String("layout", "baseline", "matrix layout: baseline or gini")
+	return p
+}
+
+func resolveLayout(fs *flag.FlagSet, p *codec.Params) error {
+	switch fs.Lookup("layout").Value.String() {
+	case "baseline", "":
+		p.Layout = codec.BaselineLayout{}
+	case "gini":
+		p.Layout = codec.GiniLayout{}
+	default:
+		return fmt.Errorf("unknown layout %q", fs.Lookup("layout").Value.String())
+	}
+	return nil
+}
+
+func readSeqLines(path string) ([]dna.Seq, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []dna.Seq
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		s, err := dna.FromString(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}
+
+func writeSeqLines(path string, seqs []dna.Seq) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, s := range seqs {
+		if _, err := fmt.Fprintln(w, s.String()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func cmdEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	out := fs.String("out", "", "output strands file (one sequence per line)")
+	p := codecFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := resolveLayout(fs, p); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	c, err := codec.NewCodec(*p)
+	if err != nil {
+		return err
+	}
+	strands, err := c.EncodeFile(data)
+	if err != nil {
+		return err
+	}
+	if err := writeSeqLines(*out, strands); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d bytes into %d strands of %d nt (%.2f bits/nt logical density)\n",
+		len(data), len(strands), c.StrandLen(),
+		float64(8*len(data))/float64(len(strands)*c.StrandLen()))
+	return nil
+}
+
+func channelFromFlags(name string, rate float64) (sim.Channel, error) {
+	switch name {
+	case "iid":
+		return sim.CalibratedIID(rate), nil
+	case "solqc":
+		return sim.DefaultSOLQC(rate), nil
+	case "wetlab":
+		return sim.NewReferenceWetlab(), nil
+	default:
+		return nil, fmt.Errorf("unknown channel %q (iid, solqc, wetlab)", name)
+	}
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	in := fs.String("in", "", "strands file")
+	out := fs.String("out", "", "output reads file")
+	channel := fs.String("channel", "iid", "noise model: iid, solqc, wetlab")
+	rate := fs.Float64("rate", 0.06, "aggregate per-base error rate (iid, solqc)")
+	coverage := fs.Int("coverage", 10, "mean reads per strand")
+	skew := fs.Float64("skew", 0, "log-normal coverage skew sigma (0 = fixed coverage)")
+	dropout := fs.Float64("dropout", 0, "probability a strand is lost entirely")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	strands, err := readSeqLines(*in)
+	if err != nil {
+		return err
+	}
+	ch, err := channelFromFlags(*channel, *rate)
+	if err != nil {
+		return err
+	}
+	var cov sim.CoverageModel = sim.FixedCoverage(*coverage)
+	if *skew > 0 {
+		cov = sim.SkewedCoverage{Mean: float64(*coverage), Sigma: *skew}
+	}
+	reads := sim.SimulatePool(strands, sim.Options{
+		Channel: ch, Coverage: cov, Dropout: *dropout, Seed: *seed,
+	})
+	if err := writeSeqLines(*out, sim.Sequences(reads)); err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d reads from %d strands via %s\n", len(reads), len(strands), ch.Name())
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	in := fs.String("in", "", "reads file")
+	out := fs.String("out", "", "output clusters file (blank-line separated)")
+	mode := fs.String("mode", "q", "signature mode: q (q-gram) or w (w-gram)")
+	seed := fs.Uint64("seed", 2, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reads, err := readSeqLines(*in)
+	if err != nil {
+		return err
+	}
+	opts := cluster.Options{Seed: *seed}
+	if *mode == "w" {
+		opts.Mode = cluster.WGram
+	}
+	res := cluster.Cluster(reads, opts)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i, members := range res.Clusters {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		for _, m := range members {
+			fmt.Fprintln(w, reads[m].String())
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Printf("clustered %d reads into %d clusters (θ=%d/%d, %d merges, %d edit-distance calls)\n",
+		len(reads), len(res.Clusters), st.ThetaLow, st.ThetaHigh, st.Merges, st.EditDistanceCalls)
+	return nil
+}
+
+// cmdPreprocess implements the §VIII wetlab-data path: FASTQ in, oriented
+// and primer-trimmed reads out, ready for the cluster subcommand.
+func cmdPreprocess(args []string) error {
+	fs := flag.NewFlagSet("preprocess", flag.ExitOnError)
+	in := fs.String("in", "", "FASTQ file from the sequencer")
+	out := fs.String("out", "", "output reads file (one payload sequence per line)")
+	forward := fs.String("forward", "", "forward primer sequence (5' flank)")
+	reverse := fs.String("reverse", "", "reverse primer sequence (3' flank)")
+	tol := fs.Int("tol", 3, "edits tolerated per primer when matching")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fwd, err := dna.FromString(*forward)
+	if err != nil {
+		return fmt.Errorf("forward primer: %w", err)
+	}
+	rev, err := dna.FromString(*reverse)
+	if err != nil {
+		return fmt.Errorf("reverse primer: %w", err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := fastq.Parse(f)
+	if err != nil {
+		return err
+	}
+	inner, stats := fastq.Preprocess(records, primer.Pair{Forward: fwd, Reverse: rev}, *tol)
+	if err := writeSeqLines(*out, inner); err != nil {
+		return err
+	}
+	fmt.Printf("preprocessed %d records: kept %d (%d flipped 3'→5'), rejected %d invalid, %d unmatched, %d untrimmable\n",
+		stats.Total, stats.Kept, stats.ReverseOriented,
+		stats.InvalidBases, stats.UnmatchedPrimers, stats.TrimFailures)
+	return nil
+}
+
+func readClusters(path string) ([][]dna.Seq, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var clusters [][]dna.Seq
+	var current []dna.Seq
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			if len(current) > 0 {
+				clusters = append(clusters, current)
+				current = nil
+			}
+			continue
+		}
+		s, err := dna.FromString(line)
+		if err != nil {
+			return nil, err
+		}
+		current = append(current, s)
+	}
+	if len(current) > 0 {
+		clusters = append(clusters, current)
+	}
+	return clusters, sc.Err()
+}
+
+func algorithmByName(name string) (recon.Algorithm, error) {
+	switch name {
+	case "bma":
+		return recon.BMA{}, nil
+	case "dbma":
+		return recon.DoubleSidedBMA{}, nil
+	case "nw", "nwa":
+		return recon.NW{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (bma, dbma, nw)", name)
+	}
+}
+
+func cmdReconstruct(args []string) error {
+	fs := flag.NewFlagSet("reconstruct", flag.ExitOnError)
+	in := fs.String("in", "", "clusters file")
+	out := fs.String("out", "", "output consensus strands file")
+	algoName := fs.String("algo", "dbma", "algorithm: bma, dbma, nw")
+	length := fs.Int("len", 0, "target strand length (0 = longest read)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	clusters, err := readClusters(*in)
+	if err != nil {
+		return err
+	}
+	algo, err := algorithmByName(*algoName)
+	if err != nil {
+		return err
+	}
+	target := *length
+	if target == 0 {
+		for _, c := range clusters {
+			for _, r := range c {
+				if len(r) > target {
+					target = len(r)
+				}
+			}
+		}
+	}
+	recons := recon.ReconstructAll(clusters, target, algo, 0)
+	var nonEmpty []dna.Seq
+	for _, r := range recons {
+		if len(r) > 0 {
+			nonEmpty = append(nonEmpty, r)
+		}
+	}
+	if err := writeSeqLines(*out, nonEmpty); err != nil {
+		return err
+	}
+	fmt.Printf("reconstructed %d strands from %d clusters with %s\n", len(nonEmpty), len(clusters), algo.Name())
+	return nil
+}
+
+func cmdDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	in := fs.String("in", "", "reconstructed strands file")
+	out := fs.String("out", "", "output file")
+	p := codecFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := resolveLayout(fs, p); err != nil {
+		return err
+	}
+	strands, err := readSeqLines(*in)
+	if err != nil {
+		return err
+	}
+	c, err := codec.NewCodec(*p)
+	if err != nil {
+		return err
+	}
+	data, report, err := c.DecodeFile(strands)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("decoded %d bytes (%s)\n", len(data), report)
+	if !report.Clean() {
+		fmt.Println("warning: some codewords exceeded the code's correction capability")
+	}
+	return nil
+}
+
+func cmdPipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
+	in := fs.String("in", "", "input file")
+	out := fs.String("out", "", "output file (recovered copy)")
+	p := codecFlags(fs)
+	channel := fs.String("channel", "iid", "noise model: iid, solqc, wetlab")
+	rate := fs.Float64("rate", 0.06, "aggregate per-base error rate")
+	coverage := fs.Int("coverage", 10, "reads per strand")
+	mode := fs.String("mode", "q", "clustering signatures: q or w")
+	algoName := fs.String("algo", "dbma", "reconstruction: bma, dbma, nw")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := resolveLayout(fs, p); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	c, err := codec.NewCodec(*p)
+	if err != nil {
+		return err
+	}
+	ch, err := channelFromFlags(*channel, *rate)
+	if err != nil {
+		return err
+	}
+	algo, err := algorithmByName(*algoName)
+	if err != nil {
+		return err
+	}
+	clusterOpts := cluster.Options{Seed: *seed + 2}
+	if *mode == "w" {
+		clusterOpts.Mode = cluster.WGram
+	}
+	pipe := core.New(c,
+		sim.Options{Channel: ch, Coverage: sim.FixedCoverage(*coverage), Seed: *seed},
+		clusterOpts, algo)
+	res, err := pipe.Run(data, core.RunOptions{})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, res.Data, 0o644); err != nil {
+		return err
+	}
+	match := "RECOVERED EXACTLY"
+	if string(res.Data) != string(data) {
+		match = "CORRUPTED"
+	}
+	fmt.Printf("%s: %d bytes → %d strands → %d reads → %d clusters → %d bytes\n",
+		match, len(data), res.Strands, res.Reads, res.Clusters, len(res.Data))
+	t := res.Times
+	fmt.Printf("latency: encode %v | simulate %v | cluster %v | reconstruct %v | decode %v | total %v\n",
+		t.Encode, t.Simulate, t.Cluster, t.Reconstruct, t.Decode, t.Total())
+	fmt.Printf("decode report: %s\n", res.Report)
+	return nil
+}

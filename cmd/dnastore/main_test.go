@@ -1,0 +1,181 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnastore/internal/codec"
+	"dnastore/internal/dna"
+)
+
+func TestSeqLinesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seqs.txt")
+	seqs := []dna.Seq{
+		dna.MustFromString("ACGT"),
+		dna.MustFromString("GGGGCCCC"),
+		dna.MustFromString("T"),
+	}
+	if err := writeSeqLines(path, seqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSeqLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seqs) {
+		t.Fatalf("got %d seqs", len(got))
+	}
+	for i := range seqs {
+		if !got[i].Equal(seqs[i]) {
+			t.Fatalf("seq %d mismatch", i)
+		}
+	}
+}
+
+func TestReadSeqLinesSkipsBlanksRejectsJunk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seqs.txt")
+	if err := os.WriteFile(path, []byte("ACGT\n\nTTAA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSeqLines(path)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %v %v", got, err)
+	}
+	if err := os.WriteFile(path, []byte("ACGX\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSeqLines(path); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestReadClustersBlankSeparated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clusters.txt")
+	content := "ACGT\nACGA\n\nTTTT\n\n\nGGGG\nGGGC\nGGCC\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := readClusters(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{2, 1, 3}
+	if len(clusters) != len(sizes) {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	for i, want := range sizes {
+		if len(clusters[i]) != want {
+			t.Fatalf("cluster %d has %d reads, want %d", i, len(clusters[i]), want)
+		}
+	}
+}
+
+func TestAlgorithmByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"bma":  "bma",
+		"dbma": "double-sided-bma",
+		"nw":   "needleman-wunsch",
+		"nwa":  "needleman-wunsch",
+	} {
+		algo, err := algorithmByName(name)
+		if err != nil || algo.Name() != want {
+			t.Errorf("algorithmByName(%q) = %v, %v", name, algo, err)
+		}
+	}
+	if _, err := algorithmByName("magic"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestChannelFromFlags(t *testing.T) {
+	for name, want := range map[string]string{
+		"iid":    "rashtchian-iid",
+		"solqc":  "solqc",
+		"wetlab": "reference-wetlab",
+	} {
+		ch, err := channelFromFlags(name, 0.05)
+		if err != nil || ch.Name() != want {
+			t.Errorf("channelFromFlags(%q) = %v, %v", name, ch, err)
+		}
+	}
+	if _, err := channelFromFlags("quantum", 0.05); err == nil {
+		t.Fatal("unknown channel accepted")
+	}
+}
+
+func TestResolveLayout(t *testing.T) {
+	build := func(name string) (*flag.FlagSet, *codec.Params) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		p := codecFlags(fs)
+		if err := fs.Parse([]string{"-layout", name}); err != nil {
+			t.Fatal(err)
+		}
+		return fs, p
+	}
+	fs, p := build("baseline")
+	if err := resolveLayout(fs, p); err != nil || p.Layout.Name() != "baseline" {
+		t.Fatalf("baseline: %v %v", p.Layout, err)
+	}
+	fs, p = build("gini")
+	if err := resolveLayout(fs, p); err != nil || p.Layout.Name() != "gini" {
+		t.Fatalf("gini: %v %v", p.Layout, err)
+	}
+	fs, p = build("zigzag")
+	if err := resolveLayout(fs, p); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+}
+
+func TestCmdEncodeDecodeFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	strands := filepath.Join(dir, "strands.txt")
+	out := filepath.Join(dir, "out.bin")
+	payload := []byte("cli subcommands, tested without a subprocess")
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEncode([]string{"-in", in, "-out", strands, "-n", "24", "-k", "16", "-payload", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecode([]string{"-in", strands, "-out", out, "-n", "24", "-k", "16", "-payload", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("CLI encode/decode round trip mismatch")
+	}
+}
+
+func TestCmdPipelineFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	payload := []byte("whole pipeline through the CLI entry point")
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdPipeline([]string{
+		"-in", in, "-out", out,
+		"-n", "24", "-k", "16", "-payload", "10",
+		"-rate", "0.04", "-coverage", "8", "-algo", "nw",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("CLI pipeline round trip mismatch")
+	}
+}

@@ -1,0 +1,243 @@
+// Package dnastore is an open-source, end-to-end DNA data storage toolkit:
+// a Go reproduction of "DNA Storage Toolkit: A Modular End-to-End DNA Data
+// Storage Codec and Simulator" (ISPASS 2024).
+//
+// The toolkit takes an input file through the entire DNA storage pipeline:
+//
+//	file → Encode (Reed–Solomon matrix, §IV) → DNA strands
+//	     → Simulate wetlab (synthesis/storage/sequencing noise, §V)
+//	     → Cluster noisy reads (§VI)
+//	     → Trace reconstruction (§VII)
+//	     → Decode + error correction (§IV) → file
+//
+// Every module is swappable. This package is a curated facade over the
+// implementation packages; the type aliases below are the stable public
+// API. A minimal round trip:
+//
+//	codec, _ := dnastore.NewCodec(dnastore.CodecParams{
+//		N: 30, K: 20, PayloadBytes: 30, Seed: 42,
+//	})
+//	pipe := dnastore.NewPipeline(codec,
+//		dnastore.SimOptions{Channel: dnastore.CalibratedIID(0.06),
+//			Coverage: dnastore.FixedCoverage(10), Seed: 1},
+//		dnastore.ClusterOptions{Seed: 2},
+//		dnastore.NWReconstruction{})
+//	res, err := pipe.Run(data, dnastore.RunOptions{})
+//	// res.Data == data, res.Times holds the per-stage latency breakdown.
+package dnastore
+
+import (
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/core"
+	"dnastore/internal/dna"
+	"dnastore/internal/fastq"
+	"dnastore/internal/pool"
+	"dnastore/internal/primer"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+)
+
+// Core sequence types.
+type (
+	// Seq is a DNA sequence over {A,C,G,T}.
+	Seq = dna.Seq
+	// Base is a single nucleotide.
+	Base = dna.Base
+)
+
+// Sequence constructors re-exported from the dna package.
+var (
+	// ParseSeq parses an ASCII DNA string.
+	ParseSeq = dna.FromString
+	// MustParseSeq parses a known-good DNA literal or panics.
+	MustParseSeq = dna.MustFromString
+)
+
+// Encoding / decoding (§IV).
+type (
+	// CodecParams configures the encoder/decoder.
+	CodecParams = codec.Params
+	// Codec converts files to DNA strands and back.
+	Codec = codec.Codec
+	// DecodeReport summarizes damage seen and repaired during decode.
+	DecodeReport = codec.Report
+	// Baseline is the Organick et al. matrix layout.
+	Baseline = codec.BaselineLayout
+	// Gini is the diagonal layout equalizing reliability skew (§IV-B).
+	Gini = codec.GiniLayout
+	// Mapper is DNAMapper: priority-aware data placement (§IV-C).
+	Mapper = codec.Mapper
+	// PriorityFunc ranks framed bytes for DNAMapper.
+	PriorityFunc = codec.PriorityFunc
+)
+
+// NewCodec validates params and returns a Codec.
+func NewCodec(p CodecParams) (*Codec, error) { return codec.NewCodec(p) }
+
+// NewMapper builds a DNAMapper from a per-row reliability profile.
+func NewMapper(profile []float64, priority PriorityFunc) *Mapper {
+	return codec.NewMapper(profile, priority)
+}
+
+// Primers (§II-D, §VIII).
+type (
+	// PrimerPair addresses one file in the DNA pool.
+	PrimerPair = primer.Pair
+	// PrimerOptions constrains primer design.
+	PrimerOptions = primer.DesignOptions
+)
+
+// DesignPrimers generates mutually distant, chemically well-behaved primer
+// pairs.
+func DesignPrimers(seed uint64, n int, opts PrimerOptions) ([]PrimerPair, error) {
+	return primer.Design(seed, n, opts)
+}
+
+// Wetlab simulation (§V).
+type (
+	// SimOptions configures the simulated wetlab.
+	SimOptions = sim.Options
+	// SimRead is a simulated sequencing read with its ground-truth origin.
+	SimRead = sim.Read
+	// IIDChannel is the naive Rashtchian error model.
+	IIDChannel = sim.IIDChannel
+	// SOLQCChannel conditions error rates on the nucleotide.
+	SOLQCChannel = sim.SOLQCChannel
+	// ReferenceWetlab is the complex stand-in for real sequenced data.
+	ReferenceWetlab = sim.ReferenceWetlab
+	// LearnedProfile is the data-driven simulator trained on paired reads.
+	LearnedProfile = sim.LearnedProfile
+	// RNNSimulator is the GRU sequence-to-sequence simulator (Fig. 4).
+	RNNSimulator = sim.RNNSimulator
+	// Channel is the noise-model interface all simulators implement.
+	Channel = sim.Channel
+	// FixedCoverage yields a constant number of reads per strand.
+	FixedCoverage = sim.FixedCoverage
+	// PoissonCoverage models shotgun-sequencing coverage.
+	PoissonCoverage = sim.PoissonCoverage
+	// SkewedCoverage models PCR amplification skew.
+	SkewedCoverage = sim.SkewedCoverage
+	// TrainingPair is a paired clean/noisy example for data-driven models.
+	TrainingPair = sim.Pair
+)
+
+// Simulator constructors re-exported from the sim package.
+var (
+	// CalibratedIID splits an aggregate error rate across the error types.
+	CalibratedIID = sim.CalibratedIID
+	// NewReferenceWetlab returns the reference channel at default severity.
+	NewReferenceWetlab = sim.NewReferenceWetlab
+	// TrainProfile fits a LearnedProfile to paired clean/noisy strands.
+	TrainProfile = sim.TrainProfile
+	// GeneratePairs produces a paired training dataset through a channel.
+	GeneratePairs = sim.GeneratePairs
+	// SimulatePool pushes strands through a simulated wetlab.
+	SimulatePool = sim.SimulatePool
+)
+
+// Clustering (§VI).
+type (
+	// ClusterOptions configures the clustering module.
+	ClusterOptions = cluster.Options
+	// ClusterResult holds clusters of read indices plus work statistics.
+	ClusterResult = cluster.Result
+	// ClusterStats reports merges, edit-distance calls and timings.
+	ClusterStats = cluster.Stats
+)
+
+// Clustering mode constants.
+const (
+	// QGram selects presence-bit signatures with Hamming distance.
+	QGram = cluster.QGram
+	// WGram selects first-occurrence signatures with the L1 norm (§VI-C).
+	WGram = cluster.WGram
+)
+
+// Clustering functions re-exported from the cluster package.
+var (
+	// ClusterReads groups noisy reads by putative origin.
+	ClusterReads = cluster.Cluster
+	// ShardedClusterReads runs the distributed variant: independent shards
+	// plus a representative-level merge round (§VI-A).
+	ShardedClusterReads = cluster.Sharded
+	// ClusteringAccuracy scores clusters against ground truth.
+	ClusteringAccuracy = cluster.Accuracy
+	// ClusteringPurity is the majority-origin read fraction.
+	ClusteringPurity = cluster.Purity
+)
+
+// Trace reconstruction (§VII).
+type (
+	// Reconstruction is the trace-reconstruction algorithm interface.
+	Reconstruction = recon.Algorithm
+	// BMAReconstruction is the BMA-lookahead baseline.
+	BMAReconstruction = recon.BMA
+	// DoubleSidedBMAReconstruction joins two half reconstructions (§VII-B).
+	DoubleSidedBMAReconstruction = recon.DoubleSidedBMA
+	// NWReconstruction is the POA/Needleman–Wunsch consensus (§VII-C).
+	NWReconstruction = recon.NW
+)
+
+// Reconstruction helpers re-exported from the recon package.
+var (
+	// ReconstructAll reconstructs clusters in parallel.
+	ReconstructAll = recon.ReconstructAll
+	// ErrorProfile tabulates per-index reconstruction error rates.
+	ErrorProfile = recon.ErrorProfile
+	// PerfectCount counts exactly reconstructed strands.
+	PerfectCount = recon.PerfectCount
+)
+
+// Pipeline (§III).
+type (
+	// Pipeline wires the five modules end to end.
+	Pipeline = core.Pipeline
+	// RunOptions tweaks a pipeline execution.
+	RunOptions = core.RunOptions
+	// RunResult reports recovered data and per-stage statistics.
+	RunResult = core.Result
+	// StageTimes is the Table III latency breakdown.
+	StageTimes = core.StageTimes
+	// ReadsSource replays wetlab reads in place of the simulator (§VIII).
+	ReadsSource = core.ReadsSource
+)
+
+// NewPipeline assembles a pipeline with default module adapters.
+func NewPipeline(c *Codec, simOpts SimOptions, clusterOpts ClusterOptions, algo Reconstruction) *Pipeline {
+	return core.New(c, simOpts, clusterOpts, algo)
+}
+
+// Wetlab data handling (§VIII).
+type (
+	// FASTQRecord is one sequencer read record.
+	FASTQRecord = fastq.Record
+	// FASTQStats summarizes a preprocessing run.
+	FASTQStats = fastq.Stats
+)
+
+// FASTQ functions re-exported from the fastq package.
+var (
+	// ParseFASTQ reads FASTQ records.
+	ParseFASTQ = fastq.Parse
+	// WriteFASTQ emits FASTQ records.
+	WriteFASTQ = fastq.Write
+	// PreprocessFASTQ orients reads and trims primers for clustering.
+	PreprocessFASTQ = fastq.Preprocess
+	// FilterFASTQByQuality drops records below a mean Phred score.
+	FilterFASTQByQuality = fastq.FilterByQuality
+)
+
+// SimReadsToFASTQ renders simulated reads as FASTQ records (flat quality),
+// bridging the simulator output into the §VIII wetlab-data path.
+func SimReadsToFASTQ(reads []SimRead, idPrefix string) []FASTQRecord {
+	return fastq.FromReads(sim.Sequences(reads), idPrefix)
+}
+
+// Key-value pool with PCR random access (§II-F).
+type (
+	// Pool is a simulated test tube holding many files' molecules.
+	Pool = pool.Pool
+	// PCROptions parametrizes amplification + sequencing of one file.
+	PCROptions = pool.PCROptions
+)

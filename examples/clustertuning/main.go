@@ -1,0 +1,98 @@
+// Clustertuning walks through the automatic threshold configuration of
+// §VI-B (Fig. 5): it builds a pool of noisy reads, plots the histogram of
+// signature distances between sampled reads, shows where θ_low and θ_high
+// land, and compares clustering quality and cost under automatic thresholds
+// versus deliberately bad manual ones — and q-gram versus w-gram signatures.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dnastore"
+	"dnastore/internal/cluster"
+	"dnastore/internal/xrand"
+)
+
+func main() {
+	// A pool: 400 strands, coverage 10, 9% error — hard enough that the
+	// threshold choice matters.
+	rng := xrand.New(1)
+	var strands []dnastore.Seq
+	for i := 0; i < 400; i++ {
+		strands = append(strands, randomSeq(rng, 110))
+	}
+	reads := dnastore.SimulatePool(strands, dnastore.SimOptions{
+		Channel:  dnastore.CalibratedIID(0.09),
+		Coverage: dnastore.FixedCoverage(10),
+		Seed:     2,
+	})
+	seqs := make([]dnastore.Seq, len(reads))
+	origins := make([]int, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+		origins[i] = r.Origin
+	}
+
+	// The Fig. 5 histogram: distances between q-gram signatures of sampled
+	// reads. Same-strand pairs pile up near zero; different-strand pairs
+	// form the big bell.
+	low, high, hist := cluster.AutoThresholdsDefault(seqs, 3)
+	fmt.Printf("automatic thresholds: θ_low=%d θ_high=%d\n\n", low, high)
+	printHistogram(hist, low, high)
+
+	run := func(label string, opts dnastore.ClusterOptions) {
+		res := dnastore.ClusterReads(seqs, opts)
+		acc := dnastore.ClusteringAccuracy(res.Clusters, origins, 0.9, len(strands))
+		fmt.Printf("%-28s clusters=%4d accuracy=%.4f edit-calls=%6d cluster=%v sig=%v\n",
+			label, len(res.Clusters), acc, res.Stats.EditDistanceCalls,
+			res.Stats.ClusterTime.Round(1e6), res.Stats.SignatureTime.Round(1e6))
+	}
+
+	fmt.Println("\nclustering 4000 reads (400 true clusters):")
+	run("auto thresholds (q-gram)", dnastore.ClusterOptions{Seed: 4})
+	run("auto thresholds (w-gram)", dnastore.ClusterOptions{Seed: 4, Mode: dnastore.WGram})
+	// θ_high too low: same-strand pairs never reach the edit check.
+	run("manual θ=(1,4): too tight", dnastore.ClusterOptions{Seed: 4, ThetaLow: 1, ThetaHigh: 4})
+	// θ_low too high: different-strand pairs merge without confirmation.
+	run("manual θ=(20,30): too loose", dnastore.ClusterOptions{Seed: 4, ThetaLow: 20, ThetaHigh: 30})
+
+	fmt.Println("\ntight thresholds force the straggler sweep to repair the")
+	fmt.Println("fragmentation at ~30x the edit-distance cost; loose ones merge")
+	fmt.Println("unrelated strands outright (accuracy collapses). The automatic")
+	fmt.Println("configuration reads both thresholds off the histogram above,")
+	fmt.Println("per §VI-B of the paper.")
+}
+
+func randomSeq(rng *xrand.RNG, n int) dnastore.Seq {
+	s := make(dnastore.Seq, n)
+	for i := range s {
+		s[i] = dnastore.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func printHistogram(hist []int, low, high int) {
+	peak := 0
+	for _, c := range hist {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return
+	}
+	for d, c := range hist {
+		if c == 0 {
+			continue
+		}
+		marker := "   "
+		if d == low {
+			marker = "θL>"
+		}
+		if d == high {
+			marker = "θH>"
+		}
+		fmt.Printf("%s %3d | %s %d\n", marker, d, strings.Repeat("#", 1+c*50/peak), c)
+	}
+}

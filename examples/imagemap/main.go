@@ -1,0 +1,165 @@
+// Imagemap demonstrates DNAMapper (§IV-C of the paper): data with a notion
+// of quality — here a synthetic gray-scale image stored as one byte per
+// pixel with high bits mattering far more than low bits — is mapped so that
+// the important bits land on reliable matrix rows. When the pipeline is
+// damaged beyond the Reed-Solomon correction capability, the baseline
+// mapping corrupts random bytes while DNAMapper steers the damage into the
+// least significant bits, preserving image quality.
+//
+// The reliability profile mirrors what double-sided BMA produces: middle
+// rows of the encoding unit are the least reliable (Fig. 6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dnastore"
+	"dnastore/internal/xrand"
+)
+
+const (
+	width  = 96
+	height = 64
+)
+
+// makeImage renders a smooth synthetic photograph-like gradient with a few
+// bright blobs, one byte per pixel.
+func makeImage() []byte {
+	img := make([]byte, width*height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := 96 + 64*math.Sin(float64(x)/13) + 48*math.Cos(float64(y)/9)
+			dx, dy := float64(x-30), float64(y-20)
+			v += 80 * math.Exp(-(dx*dx+dy*dy)/120)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*width+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// psnr computes peak signal-to-noise ratio between two images (higher is
+// better; identical images give +Inf).
+func psnr(a, b []byte) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var mse float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		mse += d * d
+	}
+	mse /= float64(len(a))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// bitplanePriority ranks framed bytes: the header (indexes 0..7) is
+// critical; image bytes alternate high nibble (even offsets, important) and
+// low nibble (odd offsets, corruption-tolerant). The priority function is a
+// pure function of the index — it is part of the format, available
+// identically at encode and decode time, which is what DNAMapper requires.
+func bitplanePriority(i int) int {
+	if i < 8 {
+		return 0 // file-length header: most critical
+	}
+	if (i-8)%2 == 0 {
+		return 1 // high nibble: visible image structure
+	}
+	return 2 // low nibble: fine detail only
+}
+
+// splitPlanes stores each pixel as [high nibble][low nibble] byte pairs.
+func splitPlanes(img []byte) []byte {
+	out := make([]byte, 0, 2*len(img))
+	for _, p := range img {
+		out = append(out, p>>4, p&0x0F)
+	}
+	return out
+}
+
+func joinPlanes(data []byte, n int) []byte {
+	img := make([]byte, n)
+	for i := 0; i < n && 2*i+1 < len(data); i++ {
+		img[i] = data[2*i]<<4 | data[2*i+1]&0x0F
+	}
+	return img
+}
+
+// runPipeline stores and retrieves the planes under reliability-skewed
+// damage: as the paper observes for double-sided BMA reconstruction
+// (Fig. 6), the *middle rows* of every molecule come back wrong far more
+// often than the edges. The middle-row codewords therefore fail beyond the
+// RS correction capability and return corrupted bytes, while edge rows
+// decode cleanly. DNAMapper's whole job is to decide which data lives on
+// those doomed rows.
+func runPipeline(planes []byte, mapper *dnastore.Mapper, seed uint64) []byte {
+	const rows = 24
+	params := dnastore.CodecParams{
+		N: 40, K: 32, PayloadBytes: rows, Seed: 7, Mapper: mapper,
+	}
+	codec, err := dnastore.NewCodec(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strands, err := codec.EncodeFile(planes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Corrupt one base of row r of each strand with probability following
+	// the DBMA-style skew: heavy in the middle, negligible at the edges.
+	rng := xrand.New(seed)
+	const indexBases = 8
+	for _, s := range strands {
+		for r := 0; r < rows; r++ {
+			mid := (float64(r) - float64(rows-1)/2) / (float64(rows) / 2)
+			pCorrupt := 0.55 * math.Exp(-6*mid*mid)
+			if rng.Float64() < pCorrupt {
+				pos := indexBases + 4*r + rng.Intn(4)
+				s[pos] ^= dnastore.Base(1 + rng.Intn(3))
+			}
+		}
+	}
+	data, report, err := codec.DecodeFile(strands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  decode report: %v\n", report)
+	return data
+}
+
+func main() {
+	img := makeImage()
+	planes := splitPlanes(img)
+	fmt.Printf("synthetic image: %dx%d pixels, %d plane bytes\n\n", width, height, len(planes))
+
+	fmt.Println("baseline mapping (no DNAMapper):")
+	base := runPipeline(planes, nil, 99)
+	baseImg := joinPlanes(base, width*height)
+	fmt.Printf("  PSNR %.2f dB\n\n", psnr(img, baseImg))
+
+	fmt.Println("DNAMapper (important plane on reliable rows):")
+	// Reliability profile: DBMA concentrates errors on middle rows.
+	profile := make([]float64, 24)
+	for i := range profile {
+		mid := 11.5
+		d := (float64(i) - mid) / mid
+		profile[i] = 0.02 + 0.3*math.Exp(-4*d*d)
+	}
+	mapper := dnastore.NewMapper(profile, bitplanePriority)
+	mapped := runPipeline(planes, mapper, 99)
+	mappedImg := joinPlanes(mapped, width*height)
+	fmt.Printf("  PSNR %.2f dB\n\n", psnr(img, mappedImg))
+
+	fmt.Println("With the same damage, DNAMapper should preserve more image")
+	fmt.Println("quality by steering unrecoverable rows onto low-priority bits.")
+}

@@ -1,0 +1,513 @@
+// Package align implements partial-order alignment (POA) for multiple
+// sequence alignment of noisy reads, following Lee, Grasso and Sharlow
+// (Bioinformatics 2002) and Lee (Bioinformatics 2003). The toolkit's
+// Needleman–Wunsch trace-reconstruction algorithm (§VII-C of the paper) is
+// built on this package: reads of a cluster are aligned into a POA graph,
+// the graph induces alignment columns, and the consensus strand is the
+// per-column majority vote with indel-heavy columns trimmed to the expected
+// strand length. It replaces the SIMD `spoa` library used by the paper.
+//
+// Alignment of a sequence to the graph is global Needleman–Wunsch over the
+// graph's topological order, with affine-free spoa-like scores (match
+// rewarded, substitution and gap penalized) so alignments anchor on exact
+// runs.
+package align
+
+import (
+	"sort"
+
+	"dnastore/internal/dna"
+)
+
+// Alignment scores, spoa-like ratios: matches are rewarded so alignments
+// anchor on long exact runs instead of drifting through zero-cost ties.
+const (
+	matchScore = 2
+	subScore   = -3
+	gapScore   = -4
+)
+
+type node struct {
+	base    dna.Base
+	preds   []int       // predecessor node ids (edges into this node)
+	succs   []int       // successor node ids
+	edgeW   map[int]int // pred id -> number of reads traversing the edge
+	aligned []int       // ids of nodes in the same alignment column
+	support int         // number of reads whose path includes this node
+}
+
+// Graph is a partial-order alignment graph. The zero value is not usable;
+// construct with NewGraph. Graph is not safe for concurrent mutation;
+// reconstruction parallelizes across clusters, one Graph per cluster.
+type Graph struct {
+	nodes []node
+	paths [][]int // node path of each added sequence, in insertion order
+}
+
+// NewGraph returns an empty POA graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// NumSequences returns how many sequences have been added.
+func (g *Graph) NumSequences() int { return len(g.paths) }
+
+// NumNodes returns the number of graph nodes (for diagnostics).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+func (g *Graph) newNode(b dna.Base) int {
+	g.nodes = append(g.nodes, node{base: b, edgeW: map[int]int{}})
+	return len(g.nodes) - 1
+}
+
+func (g *Graph) addEdge(from, to int) {
+	n := &g.nodes[to]
+	if _, ok := n.edgeW[from]; !ok {
+		n.preds = append(n.preds, from)
+		g.nodes[from].succs = append(g.nodes[from].succs, to)
+	}
+	n.edgeW[from]++
+}
+
+// topoOrder returns the node ids in a topological order (Kahn's algorithm,
+// smallest id first for determinism).
+func (g *Graph) topoOrder() []int {
+	indeg := make([]int, len(g.nodes))
+	for i := range g.nodes {
+		indeg[i] = len(g.nodes[i].preds)
+	}
+	var heap []int
+	for i, d := range indeg {
+		if d == 0 {
+			heap = append(heap, i)
+		}
+	}
+	sort.Ints(heap)
+	order := make([]int, 0, len(g.nodes))
+	for len(heap) > 0 {
+		n := heap[0]
+		heap = heap[1:]
+		order = append(order, n)
+		for _, s := range g.nodes[n].succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				// Insert keeping the ready list sorted; lists are short.
+				pos := sort.SearchInts(heap, s)
+				heap = append(heap, 0)
+				copy(heap[pos+1:], heap[pos:])
+				heap[pos] = s
+			}
+		}
+	}
+	return order
+}
+
+// alignment move codes for traceback.
+const (
+	moveNone = iota
+	moveDiag // consume graph node + read base
+	moveVert // consume graph node only (deletion in read)
+	moveHorz // consume read base only (insertion in read)
+)
+
+// aligned pair produced by traceback: Node == -1 means insertion (read base
+// with no node), Pos == -1 means deletion (node with no read base).
+type pair struct {
+	node int
+	pos  int
+}
+
+// alignToGraph globally aligns s against the graph and returns the pair list
+// in forward order.
+func (g *Graph) alignToGraph(s dna.Seq) []pair {
+	m := len(s)
+	order := g.topoOrder()
+	nNodes := len(g.nodes)
+
+	// DP tables indexed [node id][read prefix length].
+	score := make([][]int, nNodes)
+	move := make([][]uint8, nNodes)
+	from := make([][]int32, nNodes)
+	for _, id := range order {
+		score[id] = make([]int, m+1)
+		move[id] = make([]uint8, m+1)
+		from[id] = make([]int32, m+1)
+	}
+	// Virtual start: S0[j] = j*gap (leading insertions).
+	s0 := make([]int, m+1)
+	for j := 1; j <= m; j++ {
+		s0[j] = j * gapScore
+	}
+
+	for _, id := range order {
+		n := &g.nodes[id]
+		row := score[id]
+		for j := 0; j <= m; j++ {
+			best := -1 << 30
+			bestMove := uint8(moveNone)
+			bestFrom := int32(-1)
+			// Diagonal and vertical moves from each predecessor (or the
+			// virtual start for source nodes).
+			consider := func(prevRow []int, prevID int32) {
+				if j >= 1 {
+					sc := prevRow[j-1] + subScore
+					if n.base == s[j-1] {
+						sc = prevRow[j-1] + matchScore
+					}
+					if sc > best {
+						best, bestMove, bestFrom = sc, moveDiag, prevID
+					}
+				}
+				if sc := prevRow[j] + gapScore; sc > best {
+					best, bestMove, bestFrom = sc, moveVert, prevID
+				}
+			}
+			if len(n.preds) == 0 {
+				consider(s0, -1)
+			}
+			for _, p := range n.preds {
+				consider(score[p], int32(p))
+			}
+			// Horizontal: insertion in read.
+			if j >= 1 {
+				if sc := row[j-1] + gapScore; sc > best {
+					best, bestMove, bestFrom = sc, moveHorz, int32(id)
+				}
+			}
+			row[j] = best
+			move[id][j] = bestMove
+			from[id][j] = bestFrom
+		}
+	}
+
+	// Global alignment ends at a sink node with the full read consumed.
+	bestEnd, bestScore := -1, -1<<30
+	for _, id := range order {
+		if len(g.nodes[id].succs) == 0 && score[id][m] > bestScore {
+			bestScore = score[id][m]
+			bestEnd = id
+		}
+	}
+
+	// Traceback.
+	var rev []pair
+	cur, j := bestEnd, m
+	for cur != -1 {
+		switch move[cur][j] {
+		case moveDiag:
+			rev = append(rev, pair{cur, j - 1})
+			next := int(from[cur][j])
+			cur, j = next, j-1
+		case moveVert:
+			rev = append(rev, pair{cur, -1})
+			cur = int(from[cur][j])
+		case moveHorz:
+			rev = append(rev, pair{-1, j - 1})
+			j--
+		default:
+			// Source node with moveNone at j==0 cannot happen because diag /
+			// vert from the virtual start always sets a move; guard anyway.
+			cur = -1
+		}
+	}
+	// Leading insertions before the first graph node.
+	for j > 0 {
+		rev = append(rev, pair{-1, j - 1})
+		j--
+	}
+	// Reverse into forward order.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// AddSequence aligns s to the graph and merges it. The first sequence seeds
+// the graph as a simple chain. Empty sequences are recorded with an empty
+// path and do not modify the graph.
+func (g *Graph) AddSequence(s dna.Seq) {
+	if len(s) == 0 {
+		g.paths = append(g.paths, nil)
+		return
+	}
+	if len(g.nodes) == 0 {
+		path := make([]int, len(s))
+		prev := -1
+		for i, b := range s {
+			id := g.newNode(b)
+			g.nodes[id].support = 1
+			if prev >= 0 {
+				g.addEdge(prev, id)
+			}
+			prev = id
+			path[i] = id
+		}
+		g.paths = append(g.paths, path)
+		return
+	}
+
+	pairs := g.alignToGraph(s)
+	var path []int
+	last := -1
+	for _, pr := range pairs {
+		switch {
+		case pr.node >= 0 && pr.pos >= 0: // match or substitution column
+			b := s[pr.pos]
+			target := -1
+			if g.nodes[pr.node].base == b {
+				target = pr.node
+			} else {
+				for _, sib := range g.nodes[pr.node].aligned {
+					if g.nodes[sib].base == b {
+						target = sib
+						break
+					}
+				}
+			}
+			if target == -1 {
+				target = g.newNode(b)
+				// Join the alignment ring of pr.node.
+				ring := append([]int{pr.node}, g.nodes[pr.node].aligned...)
+				for _, member := range ring {
+					g.nodes[member].aligned = append(g.nodes[member].aligned, target)
+					g.nodes[target].aligned = append(g.nodes[target].aligned, member)
+				}
+			}
+			g.nodes[target].support++
+			if last >= 0 {
+				g.addEdge(last, target)
+			}
+			last = target
+			path = append(path, target)
+		case pr.pos >= 0: // insertion: brand-new node
+			id := g.newNode(s[pr.pos])
+			g.nodes[id].support = 1
+			if last >= 0 {
+				g.addEdge(last, id)
+			}
+			last = id
+			path = append(path, id)
+		default: // deletion: the read skips this node
+		}
+	}
+	g.paths = append(g.paths, path)
+}
+
+// Column summarizes one alignment column of the MSA induced by the graph.
+type Column struct {
+	Counts [dna.NumBases]int // reads voting for each base
+	Gaps   int               // reads with no base in this column
+}
+
+// Coverage returns the number of reads that have a base in the column.
+func (c Column) Coverage() int {
+	n := 0
+	for _, v := range c.Counts {
+		n += v
+	}
+	return n
+}
+
+// Majority returns the plurality base of the column and whether the base
+// outvotes the gaps (i.e. whether the column should appear in a consensus).
+func (c Column) Majority() (dna.Base, bool) {
+	best, bestN := dna.A, -1
+	for b, n := range c.Counts {
+		if n > bestN {
+			best, bestN = dna.Base(b), n
+		}
+	}
+	return best, bestN >= c.Gaps && bestN > 0
+}
+
+// columns groups nodes into alignment columns (union of `aligned` rings) and
+// returns, per column, its member nodes, ordered consistently with the node
+// partial order.
+func (g *Graph) columnNodes() [][]int {
+	colOf := make([]int, len(g.nodes))
+	for i := range colOf {
+		colOf[i] = -1
+	}
+	var cols [][]int
+	for i := range g.nodes {
+		if colOf[i] >= 0 {
+			continue
+		}
+		id := len(cols)
+		members := []int{i}
+		colOf[i] = id
+		// aligned rings are maintained as complete cliques, so one hop is
+		// enough; walk transitively anyway for safety.
+		stack := append([]int(nil), g.nodes[i].aligned...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if colOf[n] >= 0 {
+				continue
+			}
+			colOf[n] = id
+			members = append(members, n)
+			stack = append(stack, g.nodes[n].aligned...)
+		}
+		cols = append(cols, members)
+	}
+
+	// Order columns topologically using the contracted column DAG.
+	nCols := len(cols)
+	succ := make([]map[int]bool, nCols)
+	indeg := make([]int, nCols)
+	for i := range succ {
+		succ[i] = map[int]bool{}
+	}
+	for to := range g.nodes {
+		for _, from := range g.nodes[to].preds {
+			a, b := colOf[from], colOf[to]
+			if a != b && !succ[a][b] {
+				succ[a][b] = true
+				indeg[b]++
+			}
+		}
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	order := make([]int, 0, nCols)
+	seen := make([]bool, nCols)
+	for len(order) < nCols {
+		if len(ready) == 0 {
+			// Conflicting read orders created a cycle between columns;
+			// break it deterministically at the smallest unseen column.
+			for i := range seen {
+				if !seen[i] {
+					ready = append(ready, i)
+					break
+				}
+			}
+		}
+		c := ready[0]
+		ready = ready[1:]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		order = append(order, c)
+		for s := range succ[c] {
+			indeg[s]--
+			if indeg[s] <= 0 && !seen[s] {
+				pos := sort.SearchInts(ready, s)
+				ready = append(ready, 0)
+				copy(ready[pos+1:], ready[pos:])
+				ready[pos] = s
+			}
+		}
+	}
+	out := make([][]int, 0, nCols)
+	for _, c := range order {
+		out = append(out, cols[c])
+	}
+	return out
+}
+
+// Columns returns the alignment columns in order, with per-base vote counts
+// and gap counts across all added sequences.
+func (g *Graph) Columns() []Column {
+	colNodes := g.columnNodes()
+	out := make([]Column, len(colNodes))
+	total := len(g.paths)
+	for i, members := range colNodes {
+		covered := 0
+		for _, n := range members {
+			out[i].Counts[g.nodes[n].base] += g.nodes[n].support
+			covered += g.nodes[n].support
+		}
+		out[i].Gaps = total - covered
+	}
+	return out
+}
+
+// Rows renders the multiple sequence alignment as one string per added
+// sequence, using '-' for gaps. Intended for tests and debugging output.
+func (g *Graph) Rows() []string {
+	colNodes := g.columnNodes()
+	colOf := make(map[int]int, len(g.nodes))
+	for c, members := range colNodes {
+		for _, n := range members {
+			colOf[n] = c
+		}
+	}
+	rows := make([]string, len(g.paths))
+	for r, path := range g.paths {
+		row := make([]byte, len(colNodes))
+		for i := range row {
+			row[i] = '-'
+		}
+		for _, n := range path {
+			row[colOf[n]] = g.nodes[n].base.Byte()
+		}
+		rows[r] = string(row)
+	}
+	return rows
+}
+
+// Consensus returns the per-column majority consensus. Columns where gaps
+// outnumber every base are dropped. If targetLen > 0 and the consensus is
+// longer, the excess columns with the highest gap (indel) counts are omitted,
+// as described in §VII-C of the paper.
+func (g *Graph) Consensus(targetLen int) dna.Seq {
+	cols := g.Columns()
+	type kept struct {
+		base dna.Base
+		gaps int
+		idx  int
+	}
+	var keep []kept
+	for i, c := range cols {
+		if b, ok := c.Majority(); ok {
+			keep = append(keep, kept{b, c.Gaps, i})
+		}
+	}
+	if targetLen > 0 && len(keep) > targetLen {
+		excess := len(keep) - targetLen
+		// Pick the `excess` kept columns with the most indels; stable and
+		// deterministic (ties resolved by column index).
+		byGaps := make([]int, len(keep))
+		for i := range byGaps {
+			byGaps[i] = i
+		}
+		sort.Slice(byGaps, func(a, b int) bool {
+			if keep[byGaps[a]].gaps != keep[byGaps[b]].gaps {
+				return keep[byGaps[a]].gaps > keep[byGaps[b]].gaps
+			}
+			return keep[byGaps[a]].idx < keep[byGaps[b]].idx
+		})
+		drop := map[int]bool{}
+		for _, i := range byGaps[:excess] {
+			drop[i] = true
+		}
+		filtered := keep[:0]
+		for i, k := range keep {
+			if !drop[i] {
+				filtered = append(filtered, k)
+			}
+		}
+		keep = filtered
+	}
+	out := make(dna.Seq, len(keep))
+	for i, k := range keep {
+		out[i] = k.base
+	}
+	return out
+}
+
+// Consensus aligns all reads into a fresh POA graph and returns the majority
+// consensus, trimming to targetLen as described in §VII-C. It is the
+// convenience entry point used by the reconstruction module.
+func Consensus(reads []dna.Seq, targetLen int) dna.Seq {
+	g := NewGraph()
+	for _, r := range reads {
+		g.AddSequence(r)
+	}
+	return g.Consensus(targetLen)
+}

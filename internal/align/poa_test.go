@@ -1,0 +1,277 @@
+package align
+
+import (
+	"strings"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/edit"
+	"dnastore/internal/xrand"
+)
+
+func seq(s string) dna.Seq { return dna.MustFromString(s) }
+
+func TestSingleSequenceConsensusIsIdentity(t *testing.T) {
+	g := NewGraph()
+	s := seq("ACGTACGTGG")
+	g.AddSequence(s)
+	if got := g.Consensus(0); !got.Equal(s) {
+		t.Fatalf("consensus = %v, want %v", got, s)
+	}
+	if g.NumSequences() != 1 {
+		t.Fatal("NumSequences")
+	}
+	if g.NumNodes() != len(s) {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+}
+
+func TestIdenticalReadsConsensus(t *testing.T) {
+	s := seq("ACGGTTACGTAC")
+	g := NewGraph()
+	for i := 0; i < 7; i++ {
+		g.AddSequence(s)
+	}
+	if got := g.Consensus(0); !got.Equal(s) {
+		t.Fatalf("consensus = %v", got)
+	}
+	// All reads identical: the graph must not grow beyond the chain.
+	if g.NumNodes() != len(s) {
+		t.Fatalf("graph grew to %d nodes for identical reads", g.NumNodes())
+	}
+}
+
+func TestSubstitutionOutvoted(t *testing.T) {
+	ref := seq("ACGTACGTAC")
+	mut := ref.Clone()
+	mut[4] = mut[4] ^ 1 // substitution at index 4
+	g := NewGraph()
+	g.AddSequence(ref)
+	g.AddSequence(ref)
+	g.AddSequence(mut)
+	if got := g.Consensus(0); !got.Equal(ref) {
+		t.Fatalf("consensus = %v, want %v", got, ref)
+	}
+	// The substitution should occupy the same column, not a new one.
+	cols := g.Columns()
+	if len(cols) != len(ref) {
+		t.Fatalf("%d columns, want %d", len(cols), len(ref))
+	}
+	if cols[4].Counts[ref[4]] != 2 || cols[4].Counts[mut[4]] != 1 {
+		t.Fatalf("column 4 votes = %+v", cols[4])
+	}
+}
+
+func TestDeletionOutvoted(t *testing.T) {
+	ref := seq("ACGTACGTAC")
+	del := append(ref[:3:3].Clone(), ref[4:]...)
+	g := NewGraph()
+	g.AddSequence(ref)
+	g.AddSequence(del)
+	g.AddSequence(ref)
+	if got := g.Consensus(0); !got.Equal(ref) {
+		t.Fatalf("consensus = %v, want %v", got, ref)
+	}
+}
+
+func TestInsertionOutvoted(t *testing.T) {
+	ref := seq("ACGTACGTAC")
+	ins := append(ref[:5:5].Clone(), append(dna.Seq{dna.T}, ref[5:]...)...)
+	g := NewGraph()
+	g.AddSequence(ref)
+	g.AddSequence(ins)
+	g.AddSequence(ref)
+	if got := g.Consensus(0); !got.Equal(ref) {
+		t.Fatalf("consensus = %v, want %v", got, ref)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	g := NewGraph()
+	g.AddSequence(nil)
+	if len(g.Consensus(0)) != 0 {
+		t.Fatal("consensus of empty read should be empty")
+	}
+	g.AddSequence(seq("ACGT"))
+	g.AddSequence(nil)
+	// 1 real read vs 2 empty: gaps win everywhere.
+	if len(g.Consensus(0)) != 0 {
+		t.Fatalf("gap-majority columns should drop: %v", g.Consensus(0))
+	}
+}
+
+func TestConsensusHelper(t *testing.T) {
+	ref := seq("ACGTTGCAACGT")
+	got := Consensus([]dna.Seq{ref, ref, ref}, 0)
+	if !got.Equal(ref) {
+		t.Fatalf("Consensus helper = %v", got)
+	}
+	if len(Consensus(nil, 0)) != 0 {
+		t.Fatal("Consensus(nil) should be empty")
+	}
+}
+
+func TestTargetLenTrimming(t *testing.T) {
+	ref := seq("ACGTACGTAC")
+	// Two reads insert different extra bases; untrimmed consensus can exceed
+	// len(ref) when insertions tie with gaps.
+	insA := append(ref[:5:5].Clone(), append(dna.Seq{dna.T}, ref[5:]...)...)
+	g := NewGraph()
+	g.AddSequence(insA)
+	g.AddSequence(insA)
+	g.AddSequence(ref)
+	g.AddSequence(ref)
+	full := g.Consensus(0)
+	if len(full) < len(ref) {
+		t.Fatalf("untrimmed consensus too short: %v", full)
+	}
+	trimmed := g.Consensus(len(ref))
+	if len(trimmed) != len(ref) {
+		t.Fatalf("trimmed length = %d, want %d", len(trimmed), len(ref))
+	}
+	if !trimmed.Equal(ref) {
+		t.Fatalf("trimmed consensus = %v, want %v", trimmed, ref)
+	}
+}
+
+func TestRowsShape(t *testing.T) {
+	ref := seq("ACGTAC")
+	del := append(ref[:2:2].Clone(), ref[3:]...)
+	g := NewGraph()
+	g.AddSequence(ref)
+	g.AddSequence(del)
+	rows := g.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(rows[0]) != len(rows[1]) {
+		t.Fatalf("row lengths differ: %q %q", rows[0], rows[1])
+	}
+	if strings.Count(rows[1], "-") != strings.Count(rows[0], "-")+1 {
+		t.Fatalf("expected exactly one extra gap in deleted read: %q / %q", rows[0], rows[1])
+	}
+	// Removing gaps must reproduce the original reads.
+	if strings.ReplaceAll(rows[0], "-", "") != ref.String() {
+		t.Fatalf("row 0 = %q", rows[0])
+	}
+	if strings.ReplaceAll(rows[1], "-", "") != del.String() {
+		t.Fatalf("row 1 = %q", rows[1])
+	}
+}
+
+func TestRowsReproduceReads(t *testing.T) {
+	rng := xrand.New(11)
+	ref := dna.Random(rng, 40)
+	reads := []dna.Seq{ref}
+	for i := 0; i < 6; i++ {
+		reads = append(reads, mutate(rng, ref, 0.08))
+	}
+	g := NewGraph()
+	for _, r := range reads {
+		g.AddSequence(r)
+	}
+	rows := g.Rows()
+	for i, row := range rows {
+		if strings.ReplaceAll(row, "-", "") != reads[i].String() {
+			t.Fatalf("row %d does not reproduce read: %q vs %s", i, row, reads[i])
+		}
+	}
+}
+
+// mutate applies iid substitutions/insertions/deletions at rate p each third.
+func mutate(rng *xrand.RNG, s dna.Seq, p float64) dna.Seq {
+	out := make(dna.Seq, 0, len(s)+4)
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < p/3: // deletion
+		case r < 2*p/3: // substitution
+			out = append(out, dna.Base((int(b)+1+rng.Intn(3))%4))
+		case r < p: // insertion before
+			out = append(out, dna.Base(rng.Intn(4)), b)
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestNoisyClusterRecovery(t *testing.T) {
+	rng := xrand.New(42)
+	recovered := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		ref := dna.Random(rng, 60)
+		var reads []dna.Seq
+		for i := 0; i < 10; i++ {
+			reads = append(reads, mutate(rng, ref, 0.06))
+		}
+		got := Consensus(reads, len(ref))
+		if got.Equal(ref) {
+			recovered++
+		}
+	}
+	if recovered < trials*8/10 {
+		t.Fatalf("recovered only %d/%d strands at 6%% error, coverage 10", recovered, trials)
+	}
+}
+
+func TestConsensusCloseEvenWhenNotExact(t *testing.T) {
+	rng := xrand.New(43)
+	for trial := 0; trial < 20; trial++ {
+		ref := dna.Random(rng, 80)
+		var reads []dna.Seq
+		for i := 0; i < 8; i++ {
+			reads = append(reads, mutate(rng, ref, 0.1))
+		}
+		got := Consensus(reads, len(ref))
+		if d := edit.Levenshtein(got, ref); d > 8 {
+			t.Fatalf("trial %d: consensus edit distance %d from reference", trial, d)
+		}
+	}
+}
+
+func TestColumnsMajority(t *testing.T) {
+	var c Column
+	c.Counts[dna.G] = 5
+	c.Counts[dna.A] = 2
+	c.Gaps = 3
+	b, ok := c.Majority()
+	if !ok || b != dna.G {
+		t.Fatalf("majority = %v,%v", b, ok)
+	}
+	c.Gaps = 6
+	if _, ok := c.Majority(); ok {
+		t.Fatal("gap-dominated column should not keep a base")
+	}
+	if c.Coverage() != 7 {
+		t.Fatalf("coverage = %d", c.Coverage())
+	}
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	rng := xrand.New(3)
+	ref := dna.Random(rng, 50)
+	var reads []dna.Seq
+	for i := 0; i < 6; i++ {
+		reads = append(reads, mutate(rng, ref, 0.08))
+	}
+	a := Consensus(reads, len(ref))
+	b := Consensus(reads, len(ref))
+	if !a.Equal(b) {
+		t.Fatal("consensus is nondeterministic")
+	}
+}
+
+func BenchmarkConsensusCoverage10Len110(b *testing.B) {
+	rng := xrand.New(1)
+	ref := dna.Random(rng, 110)
+	var reads []dna.Seq
+	for i := 0; i < 10; i++ {
+		reads = append(reads, mutate(rng, ref, 0.06))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Consensus(reads, len(ref))
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/core"
+	"dnastore/internal/dna"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+	"dnastore/internal/xrand"
+)
+
+// Fig6Config sizes the reconstruction-profile experiment (Fig. 6): the
+// per-index error rate of BMA, double-sided BMA and Needleman–Wunsch.
+type Fig6Config struct {
+	Clusters  int
+	StrandLen int
+	Coverage  int
+	ErrorRate float64
+	Seed      uint64
+}
+
+// DefaultFig6 returns the default Fig. 6 configuration.
+func DefaultFig6() Fig6Config {
+	return Fig6Config{Clusters: 1000, StrandLen: 120, Coverage: 8, ErrorRate: 0.08, Seed: 4}
+}
+
+// QuickFig6 returns a unit-test-sized configuration.
+func QuickFig6() Fig6Config {
+	c := DefaultFig6()
+	c.Clusters = 200
+	return c
+}
+
+// Fig6Result holds the per-index profiles keyed by algorithm name.
+type Fig6Result struct {
+	Names    []string
+	Profiles map[string][]float64
+	Perfect  map[string]int
+}
+
+// Peak returns the maximum per-index error of the named algorithm.
+func (r Fig6Result) Peak(name string) float64 {
+	p := 0.0
+	for _, v := range r.Profiles[name] {
+		if v > p {
+			p = v
+		}
+	}
+	return p
+}
+
+// Fig6 reconstructs the same clusters with all three algorithms.
+func Fig6(cfg Fig6Config) Fig6Result {
+	rng := xrand.New(cfg.Seed)
+	refs := make([]dna.Seq, cfg.Clusters)
+	clusters := make([][]dna.Seq, cfg.Clusters)
+	ch := sim.CalibratedIID(cfg.ErrorRate)
+	for i := range refs {
+		refs[i] = dna.Random(rng, cfg.StrandLen)
+		for c := 0; c < cfg.Coverage; c++ {
+			clusters[i] = append(clusters[i], ch.Transmit(rng, refs[i]))
+		}
+	}
+	res := Fig6Result{Profiles: map[string][]float64{}, Perfect: map[string]int{}}
+	for _, algo := range []recon.Algorithm{recon.BMA{}, recon.DoubleSidedBMA{}, recon.NW{}} {
+		recons := recon.ReconstructAll(clusters, cfg.StrandLen, algo, 0)
+		res.Names = append(res.Names, algo.Name())
+		res.Profiles[algo.Name()] = recon.ErrorProfile(refs, recons, cfg.StrandLen)
+		res.Perfect[algo.Name()] = recon.PerfectCount(refs, recons)
+	}
+	return res
+}
+
+// TableIIIConfig sizes the end-to-end latency breakdown (Table III):
+// payload length 120 nt, error rate 6%, every clustering mode × every
+// reconstruction algorithm, at two coverages.
+type TableIIIConfig struct {
+	FileBytes int
+	Coverages []int
+	ErrorRate float64
+	Seed      uint64
+}
+
+// DefaultTableIII returns a configuration whose volumes are large enough
+// for the latency shapes (clustering dominance and growth with coverage,
+// w-gram slower than q-gram with a widening gap) to be visible, while the
+// twelve pipeline runs stay in the minutes on a single core.
+func DefaultTableIII() TableIIIConfig {
+	return TableIIIConfig{FileBytes: 24000, Coverages: []int{10, 50}, ErrorRate: 0.06, Seed: 5}
+}
+
+// QuickTableIII returns a unit-test-sized configuration.
+func QuickTableIII() TableIIIConfig {
+	return TableIIIConfig{FileBytes: 3000, Coverages: []int{10}, ErrorRate: 0.06, Seed: 5}
+}
+
+// TableIIIRow is one pipeline configuration's latency breakdown.
+type TableIIIRow struct {
+	Coverage  int
+	Mode      cluster.SignatureMode
+	Algorithm string
+	Times     core.StageTimes
+	Recovered bool
+}
+
+// Label renders the row name as in the paper ("q-gram + DBMA").
+func (r TableIIIRow) Label() string {
+	short := map[string]string{
+		"bma":              "BMA",
+		"double-sided-bma": "DBMA",
+		"needleman-wunsch": "NWA",
+	}
+	return fmt.Sprintf("%s + %s", r.Mode, short[r.Algorithm])
+}
+
+// TableIIIResult holds all rows grouped by coverage.
+type TableIIIResult struct {
+	Rows []TableIIIRow
+}
+
+// TableIII runs the full pipeline for every configuration and records the
+// per-stage latency. The payload is a pseudo-random file of FileBytes.
+func TableIII(cfg TableIIIConfig) (TableIIIResult, error) {
+	rng := xrand.New(cfg.Seed)
+	data := make([]byte, cfg.FileBytes)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	// Payload length 120 nt = 30 bytes per molecule, as in the paper.
+	c, err := codec.NewCodec(codec.Params{N: 150, K: 120, PayloadBytes: 30, Seed: cfg.Seed})
+	if err != nil {
+		return TableIIIResult{}, err
+	}
+	var res TableIIIResult
+	for _, coverage := range cfg.Coverages {
+		for _, mode := range []cluster.SignatureMode{cluster.QGram, cluster.WGram} {
+			for _, algo := range []recon.Algorithm{recon.BMA{}, recon.DoubleSidedBMA{}, recon.NW{}} {
+				p := core.New(c,
+					sim.Options{
+						Channel:  sim.CalibratedIID(cfg.ErrorRate),
+						Coverage: sim.FixedCoverage(coverage),
+						Seed:     cfg.Seed + 1,
+					},
+					cluster.Options{Mode: mode, Seed: cfg.Seed + 2},
+					algo)
+				out, err := p.Run(data, core.RunOptions{})
+				if err != nil {
+					return res, fmt.Errorf("pipeline %s cov %d: %w", algo.Name(), coverage, err)
+				}
+				res.Rows = append(res.Rows, TableIIIRow{
+					Coverage:  coverage,
+					Mode:      mode,
+					Algorithm: algo.Name(),
+					Times:     out.Times,
+					Recovered: out.Report.Clean() && string(out.Data) == string(data),
+				})
+			}
+		}
+	}
+	return res, nil
+}

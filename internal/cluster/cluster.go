@@ -1,0 +1,508 @@
+// Package cluster implements the clustering module of the pipeline (§VI):
+// grouping noisy sequenced reads so that, ideally, each cluster holds all
+// reads of one originally encoded strand. It follows the distributed
+// algorithm of Rashtchian et al. (NeurIPS'17): reads start as singleton
+// clusters; each round partitions clusters by a random anchor hash, compares
+// cheap gram signatures of representatives within each partition, and merges
+// clusters whose representatives are close — confirming with a (banded)
+// edit-distance computation only when the signature distance falls between
+// two thresholds. The thresholds can be tuned automatically (§VI-B, Fig. 5).
+//
+// Two signature schemes are provided: the baseline q-gram presence bits with
+// Hamming distance, and the paper's w-gram first-occurrence positions with
+// the L1 norm (§VI-C).
+//
+// Rounds are parallelized over partitions. Merge decisions are computed
+// independently of merge application, so results are deterministic for a
+// given seed regardless of GOMAXPROCS.
+package cluster
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/edit"
+	"dnastore/internal/xrand"
+)
+
+// Options configures Cluster. Zero values select the defaults given below.
+type Options struct {
+	// Mode selects q-gram (default) or w-gram signatures.
+	Mode SignatureMode
+	// NumGrams is the number of random grams per signature (default 48).
+	NumGrams int
+	// GramLen is the gram length q (default 4).
+	GramLen int
+	// AnchorLen is the anchor length k used for partitioning (default 3).
+	AnchorLen int
+	// PartitionLen is the number of bases l following the anchor that form
+	// the partition key (default 6).
+	PartitionLen int
+	// Rounds is the number of clustering rounds, each with a fresh anchor
+	// and fresh grams (default 24).
+	Rounds int
+	// ThetaLow and ThetaHigh are the signature-distance thresholds: below
+	// ThetaLow clusters merge outright; above ThetaHigh they never merge;
+	// in between an edit-distance confirmation runs. Both zero (the
+	// default) enables automatic configuration (§VI-B).
+	ThetaLow, ThetaHigh int
+	// EditThreshold is the maximum edit distance between representatives
+	// for a confirmed merge. The default (0) configures it automatically
+	// from sampled read pairs: midway between the same-strand and
+	// different-strand edit-distance modes (§VI-B applied to the
+	// confirmation step). Reads of a common origin at error rate p differ
+	// by ≈2p·L edits while unrelated randomized strands sit near 0.55·L.
+	EditThreshold int
+	// MaxPartitionPairs caps the pairwise comparisons within one partition
+	// (huge partitions are subsampled). Default 50000.
+	MaxPartitionPairs int
+	// NoStragglerSweep disables the final pass in which very small
+	// clusters are edit-checked against their nearest cluster
+	// representatives (by signature distance) without anchor partitioning.
+	// The sweep rescues the worst-quality reads that never co-partition
+	// with their cluster; disable it to measure the bare multi-round
+	// algorithm.
+	NoStragglerSweep bool
+	// SweepCandidates is the number of nearest representatives the sweep
+	// edit-checks per straggler (default 32; banded edit distance keeps
+	// each check cheap, and only stragglers pay it).
+	SweepCandidates int
+	// Workers bounds the worker goroutines (default GOMAXPROCS).
+	Workers int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o Options) withDefaults(readLen int) Options {
+	if o.NumGrams == 0 {
+		o.NumGrams = 48
+	}
+	if o.GramLen == 0 {
+		o.GramLen = 4
+	}
+	if o.AnchorLen == 0 {
+		o.AnchorLen = 3
+	}
+	if o.PartitionLen == 0 {
+		o.PartitionLen = 6
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 24
+	}
+	// EditThreshold == 0 is resolved from the data inside Cluster (see
+	// autoEditThreshold); it cannot be fixed here because it needs reads.
+	if o.MaxPartitionPairs == 0 {
+		o.MaxPartitionPairs = 50000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SweepCandidates == 0 {
+		o.SweepCandidates = 32
+	}
+	return o
+}
+
+// Stats reports the work a clustering run performed, split the way the
+// paper's Table II reports it.
+type Stats struct {
+	Rounds            int
+	EditDistanceCalls int
+	Merges            int
+	CheapMerges       int // merges decided by signature distance alone
+	SignatureTime     time.Duration
+	ClusterTime       time.Duration // total minus signature computation
+	ThetaLow          int
+	ThetaHigh         int
+}
+
+// Result is the output of Cluster.
+type Result struct {
+	// Clusters holds read indices (into the input slice), one slice per
+	// cluster, each sorted ascending. Cluster order is deterministic.
+	Clusters [][]int
+	Stats    Stats
+}
+
+// unionFind is a standard weighted union-find over read indices.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// fnv1a hashes a string (for deterministic per-partition RNG streams).
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Cluster groups reads into clusters of (putatively) common origin.
+func Cluster(reads []dna.Seq, opts Options) Result {
+	if len(reads) == 0 {
+		return Result{}
+	}
+	readLen := 0
+	for _, r := range reads {
+		if len(r) > readLen {
+			readLen = len(r)
+		}
+	}
+	o := opts.withDefaults(readLen)
+	rng := xrand.New(o.Seed)
+	uf := newUnionFind(len(reads))
+	var stats Stats
+	stats.Rounds = o.Rounds
+
+	// Automatic threshold configuration (§VI-B) unless the user fixed both.
+	thetaLow, thetaHigh := o.ThetaLow, o.ThetaHigh
+	if thetaLow == 0 && thetaHigh == 0 {
+		cfgGrams := newGramSet(xrand.Derive(o.Seed, 0xc0f1), o.Mode, o.NumGrams, o.GramLen)
+		thetaLow, thetaHigh, _ = AutoThresholds(reads, cfgGrams, xrand.Derive(o.Seed, 0xc0f2))
+	}
+	stats.ThetaLow, stats.ThetaHigh = thetaLow, thetaHigh
+	if o.EditThreshold == 0 {
+		o.EditThreshold = autoEditThreshold(reads, readLen, xrand.Derive(o.Seed, 0xc0f3))
+	}
+
+	for round := 0; round < o.Rounds; round++ {
+		// Fresh anchor and grams every round.
+		anchor := dna.Random(rng, o.AnchorLen)
+		grams := newGramSet(xrand.Derive(o.Seed, uint64(round)+1), o.Mode, o.NumGrams, o.GramLen)
+
+		// One representative per current cluster, chosen deterministically:
+		// roots are visited in ascending order.
+		members := map[int][]int{}
+		roots := make([]int, 0, len(members))
+		for i := range reads {
+			root := uf.find(i)
+			if _, seen := members[root]; !seen {
+				roots = append(roots, root)
+			}
+			members[root] = append(members[root], i)
+		}
+		sort.Ints(roots)
+		reps := make(map[int]int, len(roots)) // root -> representative read
+		for _, root := range roots {
+			ms := members[root]
+			reps[root] = ms[rng.Intn(len(ms))]
+		}
+
+		// Partition clusters by the l bases following the anchor in the
+		// representative; representatives lacking the anchor are hashed by
+		// their prefix instead so they still participate.
+		partitions := map[string][]int{} // key -> roots
+		for _, root := range roots {
+			r := reads[reps[root]]
+			var key string
+			if pos := r.Index(anchor); pos >= 0 && pos+o.AnchorLen+o.PartitionLen <= len(r) {
+				key = "a:" + r[pos+o.AnchorLen:pos+o.AnchorLen+o.PartitionLen].String()
+			} else {
+				n := o.PartitionLen
+				if n > len(r) {
+					n = len(r)
+				}
+				key = "p:" + r[:n].String()
+			}
+			partitions[key] = append(partitions[key], root)
+		}
+
+		// Signatures for all representatives, in parallel.
+		sigStart := time.Now()
+		sigList := make([][]int32, len(roots))
+		parallelFor(o.Workers, len(roots), func(i int) {
+			sigList[i] = grams.signature(reads[reps[roots[i]]])
+		})
+		sigs := make(map[int][]int32, len(roots))
+		for i, root := range roots {
+			sigs[root] = sigList[i]
+		}
+		stats.SignatureTime += time.Since(sigStart)
+
+		// Phase 1 (parallel, deterministic): each partition independently
+		// proposes merges. Edit-distance decisions do not consult the
+		// union-find, so the proposal set is a pure function of the seed.
+		partStart := time.Now()
+		keys := make([]string, 0, len(partitions))
+		for k := range partitions {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		type proposal struct{ a, b int }
+		proposalsPer := make([][]proposal, len(keys))
+		editCalls := make([]int, len(keys))
+		cheap := make([]int, len(keys))
+		parallelFor(o.Workers, len(keys), func(ki int) {
+			key := keys[ki]
+			group := partitions[key]
+			if len(group) < 2 {
+				return
+			}
+			prng := xrand.Derive(o.Seed, fnv1a(key)^uint64(round))
+			pairs := len(group) * (len(group) - 1) / 2
+			stride := 1
+			if pairs > o.MaxPartitionPairs {
+				stride = pairs/o.MaxPartitionPairs + 1
+			}
+			for ai := 0; ai < len(group); ai++ {
+				for bi := ai + 1; bi < len(group); bi++ {
+					if stride > 1 && prng.Intn(stride) != 0 {
+						continue
+					}
+					a, b := group[ai], group[bi]
+					d := grams.distance(sigs[a], sigs[b])
+					if d > thetaHigh {
+						continue
+					}
+					if d <= thetaLow {
+						proposalsPer[ki] = append(proposalsPer[ki], proposal{a, b})
+						cheap[ki]++
+						continue
+					}
+					editCalls[ki]++
+					if _, ok := edit.Within(reads[reps[a]], reads[reps[b]], o.EditThreshold); ok {
+						proposalsPer[ki] = append(proposalsPer[ki], proposal{a, b})
+					}
+				}
+			}
+		})
+		// Phase 2 (serial): apply proposals. The final connected components
+		// are independent of application order.
+		for ki := range proposalsPer {
+			stats.EditDistanceCalls += editCalls[ki]
+			for _, p := range proposalsPer[ki] {
+				if uf.union(p.a, p.b) {
+					stats.Merges++
+				}
+			}
+			stats.CheapMerges += cheap[ki]
+		}
+		stats.ClusterTime += time.Since(partStart)
+	}
+
+	if !o.NoStragglerSweep {
+		sweepStart := time.Now()
+		// Iterate to a fixpoint (bounded): early passes merge singletons
+		// into fragments; as the median cluster size grows, later passes
+		// recognize mid-size fragments as stragglers and attach them too.
+		// Each pass draws fresh grams so a straggler whose signature ranked
+		// poorly under one gram set gets an independent second chance.
+		for pass := 0; pass < 4; pass++ {
+			merged := stragglerSweep(reads, uf, o, uint64(pass), &stats)
+			if merged == 0 {
+				break
+			}
+		}
+		stats.ClusterTime += time.Since(sweepStart)
+	}
+
+	// Gather final clusters deterministically: order by smallest member.
+	groups := map[int][]int{}
+	for i := range reads {
+		root := uf.find(i)
+		groups[root] = append(groups[root], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, ms := range groups {
+		out = append(out, ms) // members already ascend (i loop order)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return Result{Clusters: out, Stats: stats}
+}
+
+// stragglerSweep merges small clusters into their nearest cluster when an
+// edit-distance check confirms common origin, and returns the number of
+// merges applied. Edit-distance calls are accumulated into stats.
+func stragglerSweep(reads []dna.Seq, uf *unionFind, o Options, pass uint64, stats *Stats) int {
+	members := map[int][]int{}
+	var roots []int
+	for i := range reads {
+		root := uf.find(i)
+		if _, seen := members[root]; !seen {
+			roots = append(roots, root)
+		}
+		members[root] = append(members[root], i)
+	}
+	sort.Ints(roots)
+	// A straggler is any cluster clearly smaller than typical: at most half
+	// the median cluster size (and size-2 clusters always qualify).
+	sizes := make([]int, len(roots))
+	for i, root := range roots {
+		sizes[i] = len(members[root])
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	small := sorted[len(sorted)/2] * 2 / 3
+	if small < 2 {
+		small = 2
+	}
+	// The sweep ranks every cluster, so its signature needs to be far more
+	// discriminative than the per-round ones: use triple the grams (the
+	// rolling-hash signature makes the extra grams nearly free).
+	grams := newGramSet(xrand.Derive(o.Seed, 0x5feeb+pass), o.Mode, 3*o.NumGrams, o.GramLen)
+	reps := make([]int, len(roots))
+	for i, root := range roots {
+		reps[i] = members[root][0]
+	}
+	// Candidate clusters are summarized by an *averaged* signature over up
+	// to sweepSigReads members: the mean denoises individual read errors,
+	// which is what makes the nearest-candidate ranking reliable even at
+	// error rates where any single representative's signature is mangled.
+	const sweepSigReads = 6
+	meanSigs := make([][]float32, len(roots))
+	parallelFor(o.Workers, len(roots), func(i int) {
+		ms := members[roots[i]]
+		n := len(ms)
+		if n > sweepSigReads {
+			n = sweepSigReads
+		}
+		sum := make([]float32, len(grams.grams))
+		count := make([]int32, len(grams.grams))
+		for _, m := range ms[:n] {
+			sig := grams.signature(reads[m])
+			for g, v := range sig {
+				if grams.mode == WGram {
+					if v == wgramAbsent {
+						continue
+					}
+					sum[g] += float32(v)
+					count[g]++
+				} else {
+					sum[g] += float32(v)
+					count[g]++
+				}
+			}
+		}
+		mean := make([]float32, len(grams.grams))
+		for g := range mean {
+			switch {
+			case grams.mode == WGram && int(count[g])*2 <= n:
+				mean[g] = -1 // absent in most members
+			case count[g] == 0:
+				mean[g] = -1
+			default:
+				mean[g] = sum[g] / float32(count[g])
+			}
+		}
+		meanSigs[i] = mean
+	})
+
+	type merge struct{ a, b int }
+	merges := make([][]merge, len(roots))
+	editCalls := make([]int, len(roots))
+	parallelFor(o.Workers, len(roots), func(i int) {
+		if sizes[i] > small {
+			return
+		}
+		sig := grams.signature(reads[reps[i]])
+		// Rank the other clusters by distance to their averaged signature
+		// and edit-check the closest few.
+		type cand struct {
+			j int
+			d float32
+		}
+		cands := make([]cand, 0, len(roots)-1)
+		for j := range roots {
+			if j == i {
+				continue
+			}
+			cands = append(cands, cand{j, grams.meanDistance(sig, meanSigs[j])})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].j < cands[b].j
+		})
+		// With many clusters the nearest-k ranking gets noisier; scale the
+		// edit-checked candidate count with the cluster population.
+		limit := o.SweepCandidates
+		if scaled := len(roots) / 20; scaled > limit {
+			limit = scaled
+		}
+		if limit > len(cands) {
+			limit = len(cands)
+		}
+		bestJ, bestD := -1, o.EditThreshold+1
+		for _, c := range cands[:limit] {
+			editCalls[i]++
+			if d, ok := edit.Within(reads[reps[i]], reads[reps[c.j]], o.EditThreshold); ok && d < bestD {
+				bestJ, bestD = c.j, d
+			}
+		}
+		if bestJ >= 0 {
+			merges[i] = append(merges[i], merge{roots[i], roots[bestJ]})
+		}
+	})
+	applied := 0
+	for i := range merges {
+		stats.EditDistanceCalls += editCalls[i]
+		for _, m := range merges[i] {
+			if uf.union(m.a, m.b) {
+				stats.Merges++
+				applied++
+			}
+		}
+	}
+	return applied
+}
+
+// parallelFor runs fn(i) for i in [0,n) across the given number of workers.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

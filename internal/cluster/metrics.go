@@ -1,0 +1,68 @@
+package cluster
+
+// Accuracy scores a clustering against ground truth, following the metric of
+// Rashtchian et al. used in Table II: a true cluster counts as recovered
+// when some output cluster contains at least gamma of its reads and contains
+// no reads from any other true cluster. The result is the recovered fraction
+// over totalClusters underlying clusters; pass totalClusters = 0 to use the
+// number of distinct origins observed in the reads.
+func Accuracy(clusters [][]int, origins []int, gamma float64, totalClusters int) float64 {
+	if gamma <= 0 || gamma > 1 {
+		gamma = 1
+	}
+	trueSize := map[int]int{}
+	for _, o := range origins {
+		trueSize[o]++
+	}
+	if totalClusters == 0 {
+		totalClusters = len(trueSize)
+	}
+	if totalClusters == 0 {
+		return 1
+	}
+	recovered := map[int]bool{}
+	for _, c := range clusters {
+		if len(c) == 0 {
+			continue
+		}
+		origin := origins[c[0]]
+		pure := true
+		for _, r := range c[1:] {
+			if origins[r] != origin {
+				pure = false
+				break
+			}
+		}
+		if !pure {
+			continue
+		}
+		if float64(len(c)) >= gamma*float64(trueSize[origin]) {
+			recovered[origin] = true
+		}
+	}
+	return float64(len(recovered)) / float64(totalClusters)
+}
+
+// Purity returns the fraction of reads whose cluster's majority origin
+// matches their own — a softer quality metric used in diagnostics.
+func Purity(clusters [][]int, origins []int) float64 {
+	total, correct := 0, 0
+	for _, c := range clusters {
+		counts := map[int]int{}
+		for _, r := range c {
+			counts[origins[r]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		total += len(c)
+		correct += best
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(correct) / float64(total)
+}

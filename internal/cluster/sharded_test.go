@@ -1,0 +1,72 @@
+package cluster
+
+import "testing"
+
+func TestShardedMatchesSingleNodeAccuracy(t *testing.T) {
+	reads, origins := makePool(51, 150, 110, 8, 0.06)
+	single := Cluster(reads, Options{Seed: 52})
+	sharded := Sharded(reads, 4, Options{Seed: 52})
+	accSingle := Accuracy(single.Clusters, origins, 0.9, 150)
+	accSharded := Accuracy(sharded.Clusters, origins, 0.9, 150)
+	if accSharded < accSingle-0.08 {
+		t.Fatalf("sharded accuracy %v far below single-node %v", accSharded, accSingle)
+	}
+	if accSharded < 0.85 {
+		t.Fatalf("sharded accuracy %v", accSharded)
+	}
+}
+
+func TestShardedCoversAllReadsOnce(t *testing.T) {
+	reads, _ := makePool(53, 60, 100, 6, 0.06)
+	res := Sharded(reads, 3, Options{Seed: 54})
+	seen := make([]bool, len(reads))
+	for _, c := range res.Clusters {
+		for _, r := range c {
+			if seen[r] {
+				t.Fatalf("read %d appears twice", r)
+			}
+			seen[r] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("read %d missing", i)
+		}
+	}
+}
+
+func TestShardedDegeneratesToSingle(t *testing.T) {
+	reads, _ := makePool(55, 20, 100, 4, 0.03)
+	a := Sharded(reads, 1, Options{Seed: 56})
+	b := Cluster(reads, Options{Seed: 56})
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("shards=1 gave %d clusters, single gave %d", len(a.Clusters), len(b.Clusters))
+	}
+}
+
+func TestShardedDeterministic(t *testing.T) {
+	reads, _ := makePool(57, 80, 100, 6, 0.06)
+	a := Sharded(reads, 4, Options{Seed: 58})
+	b := Sharded(reads, 4, Options{Seed: 58})
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a.Clusters {
+		if len(a.Clusters[i]) != len(b.Clusters[i]) {
+			t.Fatalf("cluster %d differs", i)
+		}
+		for j := range a.Clusters[i] {
+			if a.Clusters[i][j] != b.Clusters[i][j] {
+				t.Fatalf("cluster %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestShardedPurity(t *testing.T) {
+	reads, origins := makePool(59, 100, 110, 8, 0.09)
+	res := Sharded(reads, 4, Options{Seed: 60})
+	if p := Purity(res.Clusters, origins); p < 0.99 {
+		t.Fatalf("sharded purity %v", p)
+	}
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+// SignatureMode selects how cluster representatives are summarized for the
+// cheap pre-filter that avoids edit-distance computations (§VI).
+type SignatureMode int
+
+// Signature modes.
+const (
+	// QGram signatures mark the presence/absence of a set of random
+	// q-grams; signatures are compared with Hamming distance (§VI-A).
+	QGram SignatureMode = iota
+	// WGram signatures record the position of the first occurrence of each
+	// gram; signatures are compared with the L1 norm. This is the paper's
+	// novel variant (§VI-C): more expensive to build and store, but it
+	// separates clusters further, reducing edit-distance confirmations.
+	WGram
+)
+
+// String names the mode as in the paper's tables.
+func (m SignatureMode) String() string {
+	if m == WGram {
+		return "w-gram"
+	}
+	return "q-gram"
+}
+
+// gramSet is one round's random grams. Grams are kept both as sequences and
+// as 2-bit packed codes so signatures are computed with one rolling-hash
+// pass over the read instead of one substring scan per gram.
+type gramSet struct {
+	grams []dna.Seq
+	codes []uint32
+	q     int
+	mode  SignatureMode
+}
+
+// maxRollingQ bounds the gram length for the packed fast path (4^12 codes
+// would still fit uint32, but the first-occurrence table is sized 4^q, so
+// keep it small enough to allocate per call).
+const maxRollingQ = 8
+
+// newGramSet samples count random grams of length q.
+func newGramSet(rng *xrand.RNG, mode SignatureMode, count, q int) gramSet {
+	gs := gramSet{mode: mode, q: q, grams: make([]dna.Seq, count), codes: make([]uint32, count)}
+	for i := range gs.grams {
+		g := dna.Random(rng, q)
+		gs.grams[i] = g
+		gs.codes[i] = packGram(g)
+	}
+	return gs
+}
+
+// packGram encodes a gram as 2 bits per base, first base most significant.
+func packGram(g dna.Seq) uint32 {
+	var c uint32
+	for _, b := range g {
+		c = c<<2 | uint32(b&3)
+	}
+	return c
+}
+
+// firstOccurrences returns a table of the first position of every q-gram in
+// the read (-1 when absent), built in one pass.
+func (gs gramSet) firstOccurrences(read dna.Seq) []int32 {
+	size := 1 << (2 * uint(gs.q))
+	table := make([]int32, size)
+	for i := range table {
+		table[i] = -1
+	}
+	if len(read) < gs.q {
+		return table
+	}
+	mask := uint32(size - 1)
+	var code uint32
+	for i, b := range read {
+		code = (code<<2 | uint32(b&3)) & mask
+		if i >= gs.q-1 {
+			pos := i - gs.q + 1
+			if table[code] < 0 {
+				table[code] = int32(pos)
+			}
+		}
+	}
+	return table
+}
+
+// wgramAbsent marks a gram that does not occur in the read.
+const wgramAbsent = -1
+
+// wgramCap bounds the per-gram position difference. Reads of a common origin
+// drift apart only by indel shifts (small |Δposition|), while unrelated
+// reads have essentially independent first occurrences.
+const wgramCap = 24
+
+// wgramScale converts the mean capped drift into an integer distance with
+// useful resolution.
+const wgramScale = 8
+
+// wgramMinOverlap is the minimum number of co-present grams required for a
+// meaningful comparison; below it the distance is WGramFar (never merge on
+// signature evidence alone).
+const wgramMinOverlap = 4
+
+// WGramFar is the sentinel distance for w-gram signature pairs with too few
+// co-present grams to compare. It exceeds any real distance.
+const WGramFar = 997
+
+// signature computes the representative's signature. For QGram entries are
+// 0/1 presence flags; for WGram they are first-occurrence positions with
+// wgramAbsent standing in for "absent".
+func (gs gramSet) signature(read dna.Seq) []int32 {
+	sig := make([]int32, len(gs.grams))
+	if gs.q <= maxRollingQ {
+		table := gs.firstOccurrences(read)
+		for i, code := range gs.codes {
+			pos := table[code]
+			if gs.mode == QGram {
+				if pos >= 0 {
+					sig[i] = 1
+				}
+			} else {
+				sig[i] = pos
+			}
+		}
+		return sig
+	}
+	for i, g := range gs.grams {
+		pos := read.Index(g)
+		switch gs.mode {
+		case QGram:
+			if pos >= 0 {
+				sig[i] = 1
+			}
+		default:
+			sig[i] = int32(pos) // -1 when absent
+		}
+	}
+	return sig
+}
+
+// distance compares two signatures: Hamming for QGram; for WGram, the
+// scaled mean capped position drift over co-present grams (the L1 norm of
+// §VI-C restricted to grams both reads contain, normalized so the threshold
+// band is independent of how many grams happen to be co-present).
+func (gs gramSet) distance(a, b []int32) int {
+	d := 0
+	if gs.mode == QGram {
+		for i := range a {
+			if a[i] != b[i] {
+				d++
+			}
+		}
+		return d
+	}
+	overlap := 0
+	for i := range a {
+		if a[i] == wgramAbsent || b[i] == wgramAbsent {
+			continue
+		}
+		overlap++
+		v := int(a[i] - b[i])
+		if v < 0 {
+			v = -v
+		}
+		if v > wgramCap {
+			v = wgramCap
+		}
+		d += v
+	}
+	if overlap < wgramMinOverlap {
+		return WGramFar
+	}
+	return d * wgramScale / overlap
+}
+
+// meanDistance compares a single read's signature against a cluster's
+// averaged signature (see the straggler sweep). QGram: L1 between the bit
+// and the mean presence; WGram: capped position drift against the mean
+// first-occurrence, with one-sided absence penalized.
+func (gs gramSet) meanDistance(sig []int32, mean []float32) float32 {
+	var d float32
+	if gs.mode == QGram {
+		for i := range sig {
+			m := mean[i]
+			if m < 0 {
+				m = 0
+			}
+			v := float32(sig[i]) - m
+			if v < 0 {
+				v = -v
+			}
+			d += v
+		}
+		return d
+	}
+	overlap := 0
+	for i := range sig {
+		a := sig[i] == wgramAbsent
+		b := mean[i] < 0
+		switch {
+		case a && b:
+		case a || b:
+			d += wgramCap
+		default:
+			overlap++
+			v := float32(sig[i]) - mean[i]
+			if v < 0 {
+				v = -v
+			}
+			if v > wgramCap {
+				v = wgramCap
+			}
+			d += v
+		}
+	}
+	if overlap < wgramMinOverlap {
+		return WGramFar
+	}
+	return d
+}

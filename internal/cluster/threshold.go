@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"sort"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/edit"
+	"dnastore/internal/xrand"
+)
+
+// autoEditThreshold picks the merge-confirmation edit-distance threshold
+// from the data, in the same spirit as AutoThresholds: sample probe reads,
+// compute banded edit distances to a sample, and place the threshold midway
+// between the nearest-neighbour mode (same-strand pairs) and the median
+// (different-strand pairs). A fixed fraction of the read length is unsafe:
+// for short strands the two distributions sit close together, and for long
+// ones it wastes the available gap.
+func autoEditThreshold(reads []dna.Seq, readLen int, rng *xrand.RNG) int {
+	bound := readLen * 3 / 5
+	if bound < 4 {
+		bound = 4
+	}
+	nProbe := 48
+	if nProbe > len(reads) {
+		nProbe = len(reads)
+	}
+	// The sample must be large enough that most probes find a same-strand
+	// partner in it; at coverage c in n reads a probe needs ≈ n/c samples.
+	nSample := 2000
+	if nSample > len(reads) {
+		nSample = len(reads)
+	}
+	perm := rng.Perm(len(reads))
+	probes := perm[:nProbe]
+	sample := perm[len(perm)-nSample:]
+
+	// Phase 1: the different-strand distance median needs only a modest
+	// number of pairs.
+	var all []int
+	for i, pi := range probes {
+		for k := 0; k < 40 && k < len(sample); k++ {
+			sj := sample[(i*41+k*53)%len(sample)]
+			if pi == sj {
+				continue
+			}
+			d, ok := edit.Within(reads[pi], reads[sj], bound)
+			if !ok {
+				d = bound
+			}
+			all = append(all, d)
+		}
+	}
+	if len(all) == 0 {
+		return readLen / 4
+	}
+	sort.Ints(all)
+	median := all[len(all)/2] // dominated by different-strand pairs
+
+	// Phase 2: each probe's nearest neighbour over the full sample, with a
+	// shrinking banded bound — once the same-strand partner is found, the
+	// remaining comparisons only pay a narrow band.
+	var nearest []int
+	for _, pi := range probes {
+		nn := median // nothing above the diff median can be the same-strand mode
+		for _, sj := range sample {
+			if pi == sj {
+				continue
+			}
+			if d, ok := edit.Within(reads[pi], reads[sj], nn-1); ok {
+				nn = d
+			}
+			if nn <= 2 {
+				break
+			}
+		}
+		nearest = append(nearest, nn)
+	}
+	sort.Ints(nearest)
+	// The same-strand mode: the lower quartile of nearest-neighbour
+	// distances is robust even when only a third of the probes found a
+	// same-strand partner in the sample.
+	nnLow := nearest[len(nearest)/4]
+	if float64(nnLow) > 0.7*float64(median) {
+		// No same-strand bump visible (singleton-ish data): stay well below
+		// the different-strand mode.
+		return maxInt(4, median/2)
+	}
+	return maxInt(4, (nnLow+median)/2)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AutoThresholdsDefault runs AutoThresholds with the default q-gram
+// signature configuration (48 grams of length 4), which is what the
+// clustering module itself uses when no thresholds are given. It exists so
+// callers outside the package (Fig. 5 harness, examples) can inspect the
+// histogram.
+func AutoThresholdsDefault(reads []dna.Seq, seed uint64) (thetaLow, thetaHigh int, hist []int) {
+	grams := newGramSet(xrand.Derive(seed, 0xc0f1), QGram, 48, 4)
+	return AutoThresholds(reads, grams, xrand.Derive(seed, 0xc0f2))
+}
+
+// AutoThresholds implements the automatic configuration of §VI-B (Fig. 5):
+// it samples a handful of probe reads, computes signature distances against
+// a larger random sample, and derives (θ_low, θ_high) from the resulting
+// bimodal distribution. Distances between reads of different strands form a
+// bell around the histogram's main mode; distances between reads of the same
+// strand form a small bump near zero, which the probes' nearest-neighbour
+// distances locate without ground truth. θ_high is placed between the two
+// modes and θ_low inside the same-strand bump.
+//
+// The returned histogram (indexed by distance) is what Fig. 5 plots.
+func AutoThresholds(reads []dna.Seq, grams gramSet, rng *xrand.RNG) (thetaLow, thetaHigh int, hist []int) {
+	nProbe := 64
+	if nProbe > len(reads) {
+		nProbe = len(reads)
+	}
+	nSample := 2048
+	if nSample > len(reads) {
+		nSample = len(reads)
+	}
+	perm := rng.Perm(len(reads))
+	probes := perm[:nProbe]
+	sample := perm[len(perm)-nSample:]
+
+	probeSigs := make([][]int32, nProbe)
+	for i, idx := range probes {
+		probeSigs[i] = grams.signature(reads[idx])
+	}
+	sampleSigs := make([][]int32, nSample)
+	for i, idx := range sample {
+		sampleSigs[i] = grams.signature(reads[idx])
+	}
+
+	maxD := 0
+	var dists []int
+	nearest := make([]int, 0, nProbe)
+	for i, pi := range probes {
+		nn := 1 << 30
+		for j, sj := range sample {
+			if pi == sj {
+				continue
+			}
+			d := grams.distance(probeSigs[i], sampleSigs[j])
+			dists = append(dists, d)
+			if d > maxD {
+				maxD = d
+			}
+			if d < nn {
+				nn = d
+			}
+		}
+		if nn < 1<<30 {
+			nearest = append(nearest, nn)
+		}
+	}
+	hist = make([]int, maxD+1)
+	for _, d := range dists {
+		hist[d]++
+	}
+	if len(dists) == 0 {
+		return 0, 1, hist
+	}
+
+	// Main (different-strand) mode of the distance distribution, excluding
+	// the w-gram "too far to compare" sentinel.
+	mode, peak := 0, -1
+	for d, c := range hist {
+		if d >= WGramFar {
+			break
+		}
+		if c > peak {
+			mode, peak = d, c
+		}
+	}
+	// Same-strand bump location: the median nearest-neighbour distance of
+	// the probes. With any real coverage most probes have a same-strand
+	// partner in the sample, so the median sits inside the bump.
+	sort.Ints(nearest)
+	nnMed := nearest[len(nearest)/2]
+	if nnMed >= mode {
+		// No visible same-strand bump (singletons or extreme noise): be
+		// conservative and only trust very close signatures.
+		thetaHigh = mode / 2
+		if thetaHigh < 1 {
+			thetaHigh = 1
+		}
+		return thetaHigh / 2, thetaHigh, hist
+	}
+	// θ_high: 80% of the way from the same-strand bump to the bell. The
+	// band between the modes is resolved by the edit-distance confirmation,
+	// which is far more discriminative, so erring toward the bell only
+	// costs extra edit-distance calls, never wrong merges.
+	thetaHigh = nnMed + (mode-nnMed)*4/5
+	thetaLow = nnMed / 2
+	if thetaHigh <= thetaLow {
+		thetaHigh = thetaLow + 1
+	}
+	return thetaLow, thetaHigh, hist
+}
+
+// AutoEditThresholdForTest exposes autoEditThreshold for diagnostics and
+// experiments; production callers rely on Options.EditThreshold == 0.
+func AutoEditThresholdForTest(reads []dna.Seq, seed uint64) int {
+	readLen := 0
+	for _, r := range reads {
+		if len(r) > readLen {
+			readLen = len(r)
+		}
+	}
+	return autoEditThreshold(reads, readLen, xrand.Derive(seed, 0xc0f3))
+}

@@ -1,0 +1,86 @@
+package codec
+
+import "sort"
+
+// PriorityFunc ranks the bytes of the framed file buffer (header + data +
+// padding) by reliability need: smaller values mean the byte is more
+// important. The function must be a pure function of the index so encoder
+// and decoder derive the same mapping; it is part of the format, like the
+// codec parameters. Index 0..7 is the file-length header and should normally
+// get the highest priority (0).
+type PriorityFunc func(framedIndex int) int
+
+// UniformPriority treats all bytes as equally important, which reduces
+// DNAMapper to the identity mapping.
+func UniformPriority(int) int { return 0 }
+
+// Mapper implements DNAMapper (§IV-C): instead of changing the code layout,
+// it permutes each unit's data bytes so that bytes with higher reliability
+// needs land on matrix rows that the reconstruction step recovers more
+// reliably. Reliability per row comes from a measured or modeled profile
+// (e.g. double-sided BMA concentrates errors on the middle rows).
+type Mapper struct {
+	profile  []float64 // error rate per row; len == PayloadBytes
+	priority PriorityFunc
+}
+
+// NewMapper returns a DNAMapper for the given per-row error-rate profile
+// (length must equal the codec's PayloadBytes) and priority function.
+func NewMapper(profile []float64, priority PriorityFunc) *Mapper {
+	if priority == nil {
+		priority = UniformPriority
+	}
+	return &Mapper{profile: append([]float64(nil), profile...), priority: priority}
+}
+
+// Profile returns a copy of the mapper's per-row error-rate profile.
+func (m *Mapper) Profile() []float64 { return append([]float64(nil), m.profile...) }
+
+// permutation returns perm such that permuted[p] = data[perm[p]] assigns the
+// highest-priority bytes of this unit to the most reliable positions.
+// Positions inherit the reliability of their matrix row (position p of a
+// unit's data block maps to column p/rows, row p%rows).
+func (m *Mapper) permutation(unitIndex, unitBytes int) []int {
+	rows := len(m.profile)
+	pos := make([]int, unitBytes)
+	for i := range pos {
+		pos[i] = i
+	}
+	sort.SliceStable(pos, func(a, b int) bool {
+		return m.profile[pos[a]%rows] < m.profile[pos[b]%rows]
+	})
+	idx := make([]int, unitBytes)
+	for i := range idx {
+		idx[i] = i
+	}
+	base := unitIndex * unitBytes
+	sort.SliceStable(idx, func(a, b int) bool {
+		return m.priority(base+idx[a]) < m.priority(base+idx[b])
+	})
+	perm := make([]int, unitBytes)
+	for r := range pos {
+		perm[pos[r]] = idx[r]
+	}
+	return perm
+}
+
+// Permute maps a unit's data block into layout order (important bytes onto
+// reliable rows). It returns a new slice.
+func (m *Mapper) Permute(unitIndex int, data []byte) []byte {
+	perm := m.permutation(unitIndex, len(data))
+	out := make([]byte, len(data))
+	for p, src := range perm {
+		out[p] = data[src]
+	}
+	return out
+}
+
+// Unpermute inverts Permute.
+func (m *Mapper) Unpermute(unitIndex int, data []byte) []byte {
+	perm := m.permutation(unitIndex, len(data))
+	out := make([]byte, len(data))
+	for p, src := range perm {
+		out[src] = data[p]
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+// Package core wires the five modules of the DNA storage pipeline (§III)
+// into an end-to-end system: Encoding → Simulation → Clustering → Trace
+// Reconstruction → Decoding/ECC. Every stage is an interface, so any module
+// can be swapped for a custom implementation — the paper's central design
+// goal — and the orchestrator reports per-stage latency and quality
+// statistics (the breakdown of Table III).
+package core
+
+import (
+	"errors"
+	"time"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/dna"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+)
+
+// Simulator produces noisy reads from encoded strands. The default wraps
+// sim.SimulatePool; a fastq-backed implementation replaces it with real
+// sequencing data (§VIII).
+type Simulator interface {
+	Simulate(strands []dna.Seq) []sim.Read
+}
+
+// Clusterer groups reads by (putative) origin.
+type Clusterer interface {
+	Cluster(reads []dna.Seq) cluster.Result
+}
+
+// Reconstructor collapses each cluster into a consensus strand.
+type Reconstructor interface {
+	ReconstructAll(clusters [][]dna.Seq, targetLen int) []dna.Seq
+	Name() string
+}
+
+// PoolSimulator adapts sim.Options to the Simulator interface.
+type PoolSimulator struct {
+	Options sim.Options
+}
+
+// Simulate implements Simulator.
+func (p PoolSimulator) Simulate(strands []dna.Seq) []sim.Read {
+	return sim.SimulatePool(strands, p.Options)
+}
+
+// ReadsSource replays pre-existing reads (e.g. preprocessed wetlab FASTQ
+// data) instead of simulating; origins are unknown (-1).
+type ReadsSource struct {
+	Reads []dna.Seq
+}
+
+// Simulate implements Simulator by ignoring the strands and replaying the
+// stored reads.
+func (r ReadsSource) Simulate([]dna.Seq) []sim.Read {
+	out := make([]sim.Read, len(r.Reads))
+	for i, s := range r.Reads {
+		out[i] = sim.Read{Seq: s, Origin: -1}
+	}
+	return out
+}
+
+// OptionsClusterer adapts cluster.Options to the Clusterer interface.
+type OptionsClusterer struct {
+	Options cluster.Options
+}
+
+// Cluster implements Clusterer.
+func (c OptionsClusterer) Cluster(reads []dna.Seq) cluster.Result {
+	return cluster.Cluster(reads, c.Options)
+}
+
+// AlgorithmReconstructor adapts a recon.Algorithm to the Reconstructor
+// interface with a worker pool.
+type AlgorithmReconstructor struct {
+	Algorithm recon.Algorithm
+	Workers   int
+}
+
+// ReconstructAll implements Reconstructor.
+func (a AlgorithmReconstructor) ReconstructAll(clusters [][]dna.Seq, targetLen int) []dna.Seq {
+	return recon.ReconstructAll(clusters, targetLen, a.Algorithm, a.Workers)
+}
+
+// Name implements Reconstructor.
+func (a AlgorithmReconstructor) Name() string { return a.Algorithm.Name() }
+
+// Pipeline is the end-to-end DNA storage system.
+type Pipeline struct {
+	Codec         *codec.Codec
+	Simulator     Simulator
+	Clusterer     Clusterer
+	Reconstructor Reconstructor
+}
+
+// New assembles a pipeline with the default module implementations:
+// pool simulation with the given options, q-gram clustering with automatic
+// thresholds, and double-sided BMA reconstruction.
+func New(c *codec.Codec, simOpts sim.Options, clusterOpts cluster.Options, algo recon.Algorithm) *Pipeline {
+	if algo == nil {
+		algo = recon.DoubleSidedBMA{}
+	}
+	return &Pipeline{
+		Codec:         c,
+		Simulator:     PoolSimulator{Options: simOpts},
+		Clusterer:     OptionsClusterer{Options: clusterOpts},
+		Reconstructor: AlgorithmReconstructor{Algorithm: algo},
+	}
+}
+
+// StageTimes is the per-module latency breakdown (Table III).
+type StageTimes struct {
+	Encode      time.Duration
+	Simulate    time.Duration
+	Cluster     time.Duration
+	Reconstruct time.Duration
+	Decode      time.Duration
+}
+
+// Total sums all stages.
+func (s StageTimes) Total() time.Duration {
+	return s.Encode + s.Simulate + s.Cluster + s.Reconstruct + s.Decode
+}
+
+// Result reports everything a Run produced.
+type Result struct {
+	// Data is the recovered file contents.
+	Data []byte
+	// Report is the decoder's damage/repair summary.
+	Report codec.Report
+	// Times is the per-stage latency breakdown.
+	Times StageTimes
+	// ClusterStats reports the clustering work performed.
+	ClusterStats cluster.Stats
+	// Strands, Reads and Clusters count the intermediate volumes.
+	Strands, Reads, Clusters int
+
+	// Intermediates for evaluation (ground truth origins etc.). These are
+	// nil unless KeepIntermediates was set on Run's options.
+	EncodedStrands []dna.Seq
+	SimReads       []sim.Read
+	ClusterSets    [][]int
+	Reconstructed  []dna.Seq
+}
+
+// RunOptions tweaks a pipeline execution.
+type RunOptions struct {
+	// KeepIntermediates retains encoded strands, reads, cluster membership
+	// and reconstructed strands on the Result for evaluation.
+	KeepIntermediates bool
+	// MinClusterSize drops clusters with fewer reads before reconstruction.
+	// A consensus from one or two reads is frequently wrong, and a wrong
+	// strand costs the outer code twice what a missing strand does (an
+	// error consumes two parity symbols, an erasure one — §IV). Dropping
+	// starved clusters converts likely errors into erasures. 0 keeps all.
+	MinClusterSize int
+}
+
+// ErrNotConfigured is returned when a pipeline is missing a module.
+var ErrNotConfigured = errors.New("core: pipeline module not configured")
+
+// Run pushes data through the full pipeline and returns the recovered file
+// with per-stage statistics. A non-nil error means the file could not be
+// recovered at all; partial corruption is reported via Result.Report.
+func (p *Pipeline) Run(data []byte, opts RunOptions) (Result, error) {
+	var res Result
+	if p.Codec == nil || p.Simulator == nil || p.Clusterer == nil || p.Reconstructor == nil {
+		return res, ErrNotConfigured
+	}
+
+	start := time.Now()
+	strands, err := p.Codec.EncodeFile(data)
+	if err != nil {
+		return res, err
+	}
+	res.Times.Encode = time.Since(start)
+	res.Strands = len(strands)
+
+	start = time.Now()
+	reads := p.Simulator.Simulate(strands)
+	res.Times.Simulate = time.Since(start)
+	res.Reads = len(reads)
+
+	seqs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		seqs[i] = r.Seq
+	}
+	start = time.Now()
+	clu := p.Clusterer.Cluster(seqs)
+	res.Times.Cluster = time.Since(start)
+	res.Clusters = len(clu.Clusters)
+	res.ClusterStats = clu.Stats
+
+	clusterSeqs := make([][]dna.Seq, 0, len(clu.Clusters))
+	keptClusters := make([][]int, 0, len(clu.Clusters))
+	for _, members := range clu.Clusters {
+		if len(members) < opts.MinClusterSize {
+			continue
+		}
+		cs := make([]dna.Seq, len(members))
+		for j, m := range members {
+			cs[j] = seqs[m]
+		}
+		clusterSeqs = append(clusterSeqs, cs)
+		keptClusters = append(keptClusters, members)
+	}
+	start = time.Now()
+	recons := p.Reconstructor.ReconstructAll(clusterSeqs, p.Codec.StrandLen())
+	res.Times.Reconstruct = time.Since(start)
+
+	start = time.Now()
+	out, report, err := p.Codec.DecodeFile(recons)
+	res.Times.Decode = time.Since(start)
+	res.Report = report
+	res.Data = out
+
+	if opts.KeepIntermediates {
+		res.EncodedStrands = strands
+		res.SimReads = reads
+		res.ClusterSets = keptClusters
+		res.Reconstructed = recons
+	}
+	return res, err
+}
+
+// Evaluation scores a pipeline run against its own ground truth.
+type Evaluation struct {
+	// ClusteringAccuracy is the Rashtchian accuracy at the given gamma.
+	ClusteringAccuracy float64
+	// ClusteringPurity is the fraction of reads in majority-origin clusters.
+	ClusteringPurity float64
+	// PerfectStrands counts reconstructions identical to their source
+	// strand (matched by decoded index).
+	PerfectStrands int
+	// StrandsTotal is the number of encoded strands.
+	StrandsTotal int
+}
+
+// Evaluate computes ground-truth quality metrics from a Result that was run
+// with KeepIntermediates. It returns false when the intermediates are
+// missing or carry no origin information (e.g. a ReadsSource pipeline).
+func (p *Pipeline) Evaluate(res Result, gamma float64) (Evaluation, bool) {
+	if res.SimReads == nil || res.ClusterSets == nil || res.Reconstructed == nil {
+		return Evaluation{}, false
+	}
+	origins := make([]int, len(res.SimReads))
+	for i, r := range res.SimReads {
+		if r.Origin < 0 {
+			return Evaluation{}, false
+		}
+		origins[i] = r.Origin
+	}
+	ev := Evaluation{
+		ClusteringAccuracy: cluster.Accuracy(res.ClusterSets, origins, gamma, res.Strands),
+		ClusteringPurity:   cluster.Purity(res.ClusterSets, origins),
+		StrandsTotal:       res.Strands,
+	}
+	// Match reconstructions to source strands via the decoded index.
+	for _, rec := range res.Reconstructed {
+		idx, _, err := p.Codec.ParseStrand(rec)
+		if err != nil || idx >= uint64(len(res.EncodedStrands)) {
+			continue
+		}
+		if rec.Equal(res.EncodedStrands[idx]) {
+			ev.PerfectStrands++
+		}
+	}
+	return ev, true
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/dna"
+	"dnastore/internal/fastq"
+	"dnastore/internal/primer"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+)
+
+func testCodec(t *testing.T, primers *primer.Pair) *codec.Codec {
+	t.Helper()
+	c, err := codec.NewCodec(codec.Params{
+		N: 30, K: 20, PayloadBytes: 15, Seed: 7, Primers: primers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testPipeline(t *testing.T, algo recon.Algorithm, rate float64, coverage int) *Pipeline {
+	t.Helper()
+	return New(testCodec(t, nil),
+		sim.Options{Channel: sim.CalibratedIID(rate), Coverage: sim.FixedCoverage(coverage), Seed: 11},
+		cluster.Options{Seed: 13},
+		algo)
+}
+
+func TestEndToEndRoundTrip(t *testing.T) {
+	data := []byte("An end-to-end DNA data storage pipeline: encode, simulate, cluster, reconstruct, decode. " +
+		"This payload spans multiple encoding units to exercise indexing across units as well.")
+	for _, algo := range []recon.Algorithm{recon.BMA{}, recon.DoubleSidedBMA{}, recon.NW{}} {
+		p := testPipeline(t, algo, 0.03, 10)
+		res, err := p.Run(data, RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("%s: recovered data differs (report %v)", algo.Name(), res.Report)
+		}
+	}
+}
+
+func TestEndToEndAtSixPercent(t *testing.T) {
+	// The paper's Table III setting: 6% error. The outer RS code must
+	// absorb remaining reconstruction mistakes.
+	data := bytes.Repeat([]byte("dna storage toolkit!"), 20)
+	p := testPipeline(t, recon.NW{}, 0.06, 10)
+	res, err := p.Run(data, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatalf("recovered data differs: report %v", res.Report)
+	}
+}
+
+func TestResultCountsAndTimes(t *testing.T) {
+	data := []byte("counts")
+	p := testPipeline(t, recon.DoubleSidedBMA{}, 0.03, 8)
+	res, err := p.Run(data, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strands != 30 { // one unit
+		t.Fatalf("strands = %d", res.Strands)
+	}
+	if res.Reads != 30*8 {
+		t.Fatalf("reads = %d", res.Reads)
+	}
+	if res.Clusters == 0 {
+		t.Fatal("no clusters")
+	}
+	ts := res.Times
+	if ts.Encode <= 0 || ts.Simulate <= 0 || ts.Cluster <= 0 || ts.Reconstruct <= 0 || ts.Decode <= 0 {
+		t.Fatalf("stage times not all positive: %+v", ts)
+	}
+	if ts.Total() < ts.Cluster {
+		t.Fatal("total inconsistent")
+	}
+}
+
+func TestKeepIntermediates(t *testing.T) {
+	data := []byte("keep the evidence")
+	p := testPipeline(t, recon.NW{}, 0.03, 6)
+	res, err := p.Run(data, RunOptions{KeepIntermediates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EncodedStrands) != res.Strands || len(res.SimReads) != res.Reads {
+		t.Fatal("intermediates missing")
+	}
+	if len(res.ClusterSets) != res.Clusters || len(res.Reconstructed) != res.Clusters {
+		t.Fatal("cluster intermediates missing")
+	}
+	// Ground truth accuracy should be computable from the intermediates.
+	origins := make([]int, len(res.SimReads))
+	for i, r := range res.SimReads {
+		origins[i] = r.Origin
+	}
+	if acc := cluster.Accuracy(res.ClusterSets, origins, 0.5, res.Strands); acc < 0.9 {
+		t.Fatalf("clustering accuracy %v at 3%%", acc)
+	}
+	res2, _ := p.Run(data, RunOptions{})
+	if res2.EncodedStrands != nil || res2.SimReads != nil {
+		t.Fatal("intermediates kept without being requested")
+	}
+}
+
+func TestNotConfigured(t *testing.T) {
+	p := &Pipeline{}
+	if _, err := (p).Run(nil, RunOptions{}); err != ErrNotConfigured {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropoutWithinErasureBudget(t *testing.T) {
+	data := bytes.Repeat([]byte{0x5A}, 250)
+	c := testCodec(t, nil)
+	p := New(c,
+		sim.Options{Channel: sim.CalibratedIID(0.03), Coverage: sim.FixedCoverage(10), Dropout: 0.08, Seed: 17},
+		cluster.Options{Seed: 19},
+		recon.NW{})
+	res, err := p.Run(data, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatalf("dropout decode failed: %v", res.Report)
+	}
+	if res.Report.MissingColumns == 0 {
+		t.Log("note: no strand happened to drop at this seed")
+	}
+}
+
+func TestWetlabReplayViaFASTQ(t *testing.T) {
+	// §VIII round trip: encode with primers, simulate, serialize the reads
+	// as FASTQ in mixed orientation, preprocess (orient + trim primers),
+	// and decode with a primer-less codec of the same inner geometry.
+	pairs, err := primer.Design(21, 1, primer.DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encCodec := testCodec(t, &pairs[0])
+	data := []byte("wetlab replay: the sequencer returns reads in both orientations")
+	strands, err := encCodec.EncodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := sim.SimulatePool(strands, sim.Options{
+		Channel:  sim.CalibratedIID(0.03),
+		Coverage: sim.FixedCoverage(10),
+		Seed:     23,
+	})
+	// Sequencers emit both orientations: flip every other read.
+	seqs := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		if i%2 == 0 {
+			seqs[i] = r.Seq.ReverseComplement()
+		} else {
+			seqs[i] = r.Seq
+		}
+	}
+	records := fastq.FromReads(seqs, "nanopore")
+	inner, stats := fastq.Preprocess(records, pairs[0], 4)
+	if stats.Kept < len(records)*8/10 {
+		t.Fatalf("preprocess kept %d/%d: %+v", stats.Kept, len(records), stats)
+	}
+
+	decCodec := testCodec(t, nil) // same geometry, no primers
+	p := &Pipeline{
+		Codec:         decCodec,
+		Simulator:     ReadsSource{Reads: inner},
+		Clusterer:     OptionsClusterer{Options: cluster.Options{Seed: 25}},
+		Reconstructor: AlgorithmReconstructor{Algorithm: recon.NW{}},
+	}
+	res, err := p.Run(nil, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatalf("wetlab replay decode failed: %v", res.Report)
+	}
+}
+
+func TestModuleSwappability(t *testing.T) {
+	// A custom reconstructor can be dropped in: here, one that just picks
+	// the first read of each cluster (works only on clean channels).
+	data := []byte("modularity")
+	c := testCodec(t, nil)
+	p := New(c,
+		sim.Options{Channel: sim.NewIIDChannel(0, 0, 0), Coverage: sim.FixedCoverage(3), Seed: 27},
+		cluster.Options{Seed: 29},
+		nil)
+	p.Reconstructor = firstReadReconstructor{}
+	res, err := p.Run(data, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("custom reconstructor failed on the clean channel")
+	}
+}
+
+type firstReadReconstructor struct{}
+
+func (firstReadReconstructor) ReconstructAll(clusters [][]dna.Seq, targetLen int) []dna.Seq {
+	out := make([]dna.Seq, len(clusters))
+	for i, c := range clusters {
+		if len(c) > 0 {
+			out[i] = c[0]
+		}
+	}
+	return out
+}
+
+func (firstReadReconstructor) Name() string { return "first-read" }
+
+func TestMinClusterSizeHarmlessWhenClustersHealthy(t *testing.T) {
+	// With fixed coverage 6, no cluster falls below 2 reads, so the filter
+	// must change nothing and the file must survive.
+	data := bytes.Repeat([]byte("healthy clusters"), 12)
+	p := testPipeline(t, recon.NW{}, 0.04, 6)
+	keepAll, err := p.Run(data, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := p.Run(data, RunOptions{MinClusterSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Report.MissingColumns != keepAll.Report.MissingColumns {
+		t.Fatalf("filter changed a healthy run: %v vs %v", filtered.Report, keepAll.Report)
+	}
+	if !bytes.Equal(filtered.Data, data) {
+		t.Fatalf("file lost: %v", filtered.Report)
+	}
+}
+
+func TestMinClusterSizeFiltersAllAtLowCoverage(t *testing.T) {
+	// Coverage 2 with MinClusterSize 3 drops every cluster: the decoder
+	// must report an explicit failure, proving the filter is applied.
+	data := []byte("two reads per strand")
+	c := testCodec(t, nil)
+	p := New(c,
+		sim.Options{Channel: sim.CalibratedIID(0.01), Coverage: sim.FixedCoverage(2), Seed: 35},
+		cluster.Options{Seed: 37},
+		recon.NW{})
+	ok, err := p.Run(data, RunOptions{})
+	if err != nil || !bytes.Equal(ok.Data, data) {
+		t.Fatalf("baseline at coverage 2 failed: %v %v", ok.Report, err)
+	}
+	if _, err := p.Run(data, RunOptions{MinClusterSize: 3}); err == nil {
+		t.Fatal("dropping every cluster still decoded")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	p := testPipeline(t, recon.NW{}, 0.04, 8)
+	res, err := p.Run([]byte("evaluate me, end to end"), RunOptions{KeepIntermediates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := p.Evaluate(res, 0.9)
+	if !ok {
+		t.Fatal("Evaluate refused intermediates")
+	}
+	if ev.ClusteringAccuracy < 0.9 || ev.ClusteringPurity < 0.99 {
+		t.Fatalf("evaluation = %+v", ev)
+	}
+	if ev.PerfectStrands < ev.StrandsTotal*7/10 {
+		t.Fatalf("only %d/%d perfect strands at 4%%", ev.PerfectStrands, ev.StrandsTotal)
+	}
+	// Without intermediates Evaluate must refuse.
+	res2, _ := p.Run([]byte("no evidence"), RunOptions{})
+	if _, ok := p.Evaluate(res2, 0.9); ok {
+		t.Fatal("Evaluate accepted a result without intermediates")
+	}
+}

@@ -1,0 +1,269 @@
+// Package dna provides the base types for DNA sequences and the primitive
+// operations the rest of the toolkit builds on: the {A,C,G,T} alphabet, the
+// 2-bits-per-nucleotide mapping used by unconstrained coding (§II-D of the
+// paper), reverse complements, GC-content and homopolymer statistics, and
+// random sequence generation.
+package dna
+
+import (
+	"fmt"
+	"strings"
+
+	"dnastore/internal/xrand"
+)
+
+// Base is a single nucleotide, stored as a 2-bit code: A=0, C=1, G=2, T=3.
+// The ordering matches the unconstrained 2-bit encoding so that converting
+// between binary data and bases is a direct bit reinterpretation.
+type Base byte
+
+// The four nucleotides.
+const (
+	A Base = 0
+	C Base = 1
+	G Base = 2
+	T Base = 3
+)
+
+// NumBases is the alphabet size.
+const NumBases = 4
+
+// Byte returns the ASCII letter of the base.
+func (b Base) Byte() byte { return "ACGT"[b&3] }
+
+// String returns the one-letter name of the base.
+func (b Base) String() string { return string(b.Byte()) }
+
+// Complement returns the Watson–Crick complement (A↔T, C↔G).
+func (b Base) Complement() Base { return 3 - (b & 3) }
+
+// BaseFromByte converts an ASCII nucleotide letter (upper or lower case) to a
+// Base. It reports false for any other byte (including N).
+func BaseFromByte(c byte) (Base, bool) {
+	switch c {
+	case 'A', 'a':
+		return A, true
+	case 'C', 'c':
+		return C, true
+	case 'G', 'g':
+		return G, true
+	case 'T', 't':
+		return T, true
+	}
+	return 0, false
+}
+
+// Seq is a DNA sequence: a slice of 2-bit base codes, one base per byte.
+// It deliberately trades the 4× density of bit-packing for O(1) indexed
+// access, which dominates clustering and reconstruction workloads.
+type Seq []Base
+
+// FromString parses an ASCII DNA string into a Seq. Characters outside
+// {A,C,G,T,a,c,g,t} are an error.
+func FromString(s string) (Seq, error) {
+	out := make(Seq, len(s))
+	for i := 0; i < len(s); i++ {
+		b, ok := BaseFromByte(s[i])
+		if !ok {
+			return nil, fmt.Errorf("dna: invalid base %q at position %d", s[i], i)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// MustFromString is FromString for known-good literals; it panics on error.
+func MustFromString(s string) Seq {
+	q, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String renders the sequence as ASCII letters.
+func (s Seq) String() string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, b := range s {
+		sb.WriteByte(b.Byte())
+	}
+	return sb.String()
+}
+
+// Clone returns an independent copy of the sequence.
+func (s Seq) Clone() Seq {
+	return append(Seq(nil), s...)
+}
+
+// Equal reports whether two sequences are identical.
+func (s Seq) Equal(t Seq) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse returns the sequence in reverse order.
+func (s Seq) Reverse() Seq {
+	out := make(Seq, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b
+	}
+	return out
+}
+
+// ReverseComplement returns the reverse complement, i.e. the sequence read
+// off the opposite strand 5'→3'. Sequenced reads arrive in both orientations
+// (§VIII), so the wetlab-data module uses this to normalize direction.
+func (s Seq) ReverseComplement() Seq {
+	out := make(Seq, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b.Complement()
+	}
+	return out
+}
+
+// GCContent returns the fraction of G and C bases, or 0 for an empty
+// sequence. Synthesis success favours GC-content near 0.5 (§II-D).
+func (s Seq) GCContent() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	gc := 0
+	for _, b := range s {
+		if b == G || b == C {
+			gc++
+		}
+	}
+	return float64(gc) / float64(len(s))
+}
+
+// MaxHomopolymer returns the length of the longest run of one base.
+func (s Seq) MaxHomopolymer() int {
+	if len(s) == 0 {
+		return 0
+	}
+	best, run := 1, 1
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 1
+		}
+	}
+	return best
+}
+
+// Index returns the first position at which sub occurs in s, or -1.
+func (s Seq) Index(sub Seq) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	if len(sub) > len(s) {
+		return -1
+	}
+outer:
+	for i := 0; i+len(sub) <= len(s); i++ {
+		for j := range sub {
+			if s[i+j] != sub[j] {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// Hamming returns the Hamming distance between equal-length sequences.
+// It panics if the lengths differ; use edit.Levenshtein for unequal lengths.
+func Hamming(a, b Seq) int {
+	if len(a) != len(b) {
+		panic("dna: Hamming on sequences of different lengths")
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Random returns a uniformly random sequence of length n.
+func Random(rng *xrand.RNG, n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = Base(rng.Intn(NumBases))
+	}
+	return s
+}
+
+// BasesPerByte is the number of bases required to encode one byte (4 bases
+// at 2 bits per base).
+const BasesPerByte = 4
+
+// FromBytes converts binary data to bases at 2 bits per base, MSB first:
+// byte 0b11_10_01_00 becomes T,G,C,A.
+func FromBytes(data []byte) Seq {
+	out := make(Seq, 0, len(data)*BasesPerByte)
+	for _, by := range data {
+		out = append(out,
+			Base(by>>6&3), Base(by>>4&3), Base(by>>2&3), Base(by&3))
+	}
+	return out
+}
+
+// ToBytes converts bases back to binary. The length must be a multiple of 4.
+func ToBytes(s Seq) ([]byte, error) {
+	if len(s)%BasesPerByte != 0 {
+		return nil, fmt.Errorf("dna: sequence length %d is not a multiple of %d", len(s), BasesPerByte)
+	}
+	out := make([]byte, len(s)/BasesPerByte)
+	for i := range out {
+		out[i] = byte(s[4*i]&3)<<6 | byte(s[4*i+1]&3)<<4 | byte(s[4*i+2]&3)<<2 | byte(s[4*i+3]&3)
+	}
+	return out, nil
+}
+
+// EncodeUint encodes v as exactly width bases, most significant base first.
+// It panics if v does not fit in width bases (width*2 bits). Used for the
+// per-molecule index field (§II-C).
+func EncodeUint(v uint64, width int) Seq {
+	if width < 0 || (width < 32 && v >= 1<<(2*uint(width))) {
+		panic(fmt.Sprintf("dna: value %d does not fit in %d bases", v, width))
+	}
+	out := make(Seq, width)
+	for i := width - 1; i >= 0; i-- {
+		out[i] = Base(v & 3)
+		v >>= 2
+	}
+	return out
+}
+
+// DecodeUint decodes a base-encoded unsigned integer written by EncodeUint.
+func DecodeUint(s Seq) uint64 {
+	var v uint64
+	for _, b := range s {
+		v = v<<2 | uint64(b&3)
+	}
+	return v
+}
+
+// UintWidth returns the minimum number of bases needed to represent values
+// in [0, n), i.e. ceil(log4(n)), and at least 1.
+func UintWidth(n int) int {
+	w := 1
+	for span := 4; span < n; span *= 4 {
+		w++
+	}
+	return w
+}

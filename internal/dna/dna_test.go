@@ -1,0 +1,327 @@
+package dna
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnastore/internal/xrand"
+)
+
+func TestBaseLetters(t *testing.T) {
+	cases := []struct {
+		b Base
+		c byte
+	}{{A, 'A'}, {C, 'C'}, {G, 'G'}, {T, 'T'}}
+	for _, tc := range cases {
+		if tc.b.Byte() != tc.c {
+			t.Errorf("%d.Byte() = %c, want %c", tc.b, tc.b.Byte(), tc.c)
+		}
+		got, ok := BaseFromByte(tc.c)
+		if !ok || got != tc.b {
+			t.Errorf("BaseFromByte(%c) = %v,%v", tc.c, got, ok)
+		}
+		lower := tc.c + 32
+		got, ok = BaseFromByte(lower)
+		if !ok || got != tc.b {
+			t.Errorf("BaseFromByte(%c) = %v,%v", lower, got, ok)
+		}
+	}
+}
+
+func TestBaseFromByteRejectsOthers(t *testing.T) {
+	for _, c := range []byte{'N', 'U', 'x', ' ', 0, '-'} {
+		if _, ok := BaseFromByte(c); ok {
+			t.Errorf("BaseFromByte(%q) accepted", c)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, C: G, G: C, T: A}
+	for b, want := range pairs {
+		if b.Complement() != want {
+			t.Errorf("%v.Complement() = %v, want %v", b, b.Complement(), want)
+		}
+		if b.Complement().Complement() != b {
+			t.Errorf("complement not involutive for %v", b)
+		}
+	}
+}
+
+func TestFromStringRoundTrip(t *testing.T) {
+	s := "ACGTACGGTTAACC"
+	q, err := FromString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != s {
+		t.Fatalf("round trip: got %q want %q", q.String(), s)
+	}
+}
+
+func TestFromStringLowercase(t *testing.T) {
+	q, err := FromString("acgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "ACGT" {
+		t.Fatalf("got %q", q.String())
+	}
+}
+
+func TestFromStringInvalid(t *testing.T) {
+	if _, err := FromString("ACGN"); err == nil {
+		t.Fatal("expected error for N")
+	}
+}
+
+func TestMustFromStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustFromString("XYZ")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustFromString("ACGT")
+	b := a.Clone()
+	b[0] = T
+	if a[0] != A {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !MustFromString("ACG").Equal(MustFromString("ACG")) {
+		t.Fatal("equal sequences reported unequal")
+	}
+	if MustFromString("ACG").Equal(MustFromString("ACT")) {
+		t.Fatal("unequal sequences reported equal")
+	}
+	if MustFromString("ACG").Equal(MustFromString("ACGT")) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	if got := MustFromString("ACGT").Reverse().String(); got != "TGCA" {
+		t.Fatalf("Reverse = %q", got)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	if got := MustFromString("AACGT").ReverseComplement().String(); got != "ACGTT" {
+		t.Fatalf("ReverseComplement = %q", got)
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make(Seq, len(raw))
+		for i, b := range raw {
+			s[i] = Base(b & 3)
+		}
+		return s.ReverseComplement().ReverseComplement().Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	cases := []struct {
+		s    string
+		want float64
+	}{
+		{"", 0},
+		{"AT", 0},
+		{"GC", 1},
+		{"ACGT", 0.5},
+		{"GGGA", 0.75},
+	}
+	for _, tc := range cases {
+		var q Seq
+		if tc.s != "" {
+			q = MustFromString(tc.s)
+		}
+		if got := q.GCContent(); got != tc.want {
+			t.Errorf("GCContent(%q) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestMaxHomopolymer(t *testing.T) {
+	cases := []struct {
+		s    string
+		want int
+	}{
+		{"", 0},
+		{"A", 1},
+		{"ACGT", 1},
+		{"AACC", 2},
+		{"ACGGGGT", 4},
+		{"TTTTT", 5},
+	}
+	for _, tc := range cases {
+		var q Seq
+		if tc.s != "" {
+			q = MustFromString(tc.s)
+		}
+		if got := q.MaxHomopolymer(); got != tc.want {
+			t.Errorf("MaxHomopolymer(%q) = %d, want %d", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	s := MustFromString("ACGTACGT")
+	cases := []struct {
+		sub  string
+		want int
+	}{
+		{"ACGT", 0},
+		{"CGTA", 1},
+		{"TACG", 3},
+		{"GTT", -1},
+		{"", 0},
+	}
+	for _, tc := range cases {
+		var sub Seq
+		if tc.sub != "" {
+			sub = MustFromString(tc.sub)
+		}
+		if got := s.Index(sub); got != tc.want {
+			t.Errorf("Index(%q) = %d, want %d", tc.sub, got, tc.want)
+		}
+	}
+	if MustFromString("AC").Index(MustFromString("ACGT")) != -1 {
+		t.Error("sub longer than s should be -1")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if d := Hamming(MustFromString("ACGT"), MustFromString("ACGA")); d != 1 {
+		t.Fatalf("Hamming = %d", d)
+	}
+	if d := Hamming(MustFromString("AAAA"), MustFromString("TTTT")); d != 4 {
+		t.Fatalf("Hamming = %d", d)
+	}
+}
+
+func TestHammingPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Hamming(MustFromString("A"), MustFromString("AC"))
+}
+
+func TestRandomProperties(t *testing.T) {
+	rng := xrand.New(1)
+	s := Random(rng, 4000)
+	if len(s) != 4000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	counts := [4]int{}
+	for _, b := range s {
+		if b > 3 {
+			t.Fatalf("invalid base %d", b)
+		}
+		counts[b]++
+	}
+	for b, n := range counts {
+		if n < 800 || n > 1200 {
+			t.Errorf("base %d count %d far from uniform", b, n)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		s := FromBytes(data)
+		if len(s) != len(data)*BasesPerByte {
+			return false
+		}
+		back, err := ToBytes(s)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromBytesKnown(t *testing.T) {
+	// 0b11_10_01_00 = 0xE4 → T G C A
+	s := FromBytes([]byte{0xE4})
+	if s.String() != "TGCA" {
+		t.Fatalf("FromBytes(0xE4) = %q", s.String())
+	}
+}
+
+func TestToBytesBadLength(t *testing.T) {
+	if _, err := ToBytes(MustFromString("ACG")); err == nil {
+		t.Fatal("expected error for length not multiple of 4")
+	}
+}
+
+func TestEncodeDecodeUint(t *testing.T) {
+	for _, v := range []uint64{0, 1, 3, 4, 255, 1023, 1 << 20} {
+		w := 12
+		s := EncodeUint(v, w)
+		if len(s) != w {
+			t.Fatalf("width %d != %d", len(s), w)
+		}
+		if got := DecodeUint(s); got != v {
+			t.Fatalf("DecodeUint(EncodeUint(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestEncodeUintOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EncodeUint(16, 2) // 2 bases hold 0..15
+}
+
+func TestUintWidth(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3}, {64, 3}, {65, 4}, {10000, 7},
+	}
+	for _, tc := range cases {
+		if got := UintWidth(tc.n); got != tc.want {
+			t.Errorf("UintWidth(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestUintWidthSufficient(t *testing.T) {
+	f := func(n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		w := UintWidth(int(n))
+		// every index in [0,n) must fit
+		s := EncodeUint(uint64(n-1), w)
+		return DecodeUint(s) == uint64(n-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

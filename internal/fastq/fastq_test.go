@@ -1,0 +1,204 @@
+package fastq
+
+import (
+	"strings"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/primer"
+	"dnastore/internal/sim"
+	"dnastore/internal/xrand"
+)
+
+const sample = `@read1
+ACGT
++
+IIII
+@read2 description text
+TTGGCC
++
+ABCDEF
+`
+
+func TestParseBasic(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].ID != "read1" || recs[0].Seq != "ACGT" || recs[0].Quality != "IIII" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].ID != "read2 description text" {
+		t.Fatalf("record 1 id = %q", recs[1].ID)
+	}
+}
+
+func TestParseBlankLinesTolerated(t *testing.T) {
+	recs, err := Parse(strings.NewReader("@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"read1\nACGT\n+\nIIII\n", // missing @
+		"@read1\nACGT\n+\nIII\n", // quality length mismatch
+		"@read1\nACGT\nIIII\n",   // missing + line content check
+		"@read1\nACGT\n",         // truncated
+		"@read1\nACGT\n+\n",      // missing quality (truncated)
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d parsed without error", i)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	recs, err := Parse(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: %v %v", recs, err)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	recs, _ := Parse(strings.NewReader(sample))
+	var sb strings.Builder
+	if err := Write(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip count %d", len(back))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestRecordDNA(t *testing.T) {
+	if _, err := (Record{Seq: "ACGN"}).DNA(); err == nil {
+		t.Fatal("N should fail conversion")
+	}
+	s, err := (Record{Seq: "acgt"}).DNA()
+	if err != nil || s.String() != "ACGT" {
+		t.Fatalf("DNA() = %v, %v", s, err)
+	}
+}
+
+func TestFromReads(t *testing.T) {
+	reads := []dna.Seq{dna.MustFromString("ACGT"), dna.MustFromString("GG")}
+	recs := FromReads(reads, "sim")
+	if len(recs) != 2 || recs[0].ID != "sim_0" || recs[1].Seq != "GG" {
+		t.Fatalf("FromReads = %+v", recs)
+	}
+	if len(recs[0].Quality) != 4 {
+		t.Fatal("quality length")
+	}
+}
+
+func TestPreprocessFullFlow(t *testing.T) {
+	pairs, err := primer.Design(1, 1, primer.DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := pairs[0]
+	rng := xrand.New(2)
+	ch := sim.CalibratedIID(0.02)
+
+	var records []Record
+	var inners []dna.Seq
+	const n = 40
+	for i := 0; i < n; i++ {
+		inner := dna.Random(rng, 60)
+		inners = append(inners, inner)
+		mol := pair.Attach(inner)
+		noisy := ch.Transmit(rng, mol)
+		// Half the reads arrive in reverse orientation, as on a sequencer.
+		if i%2 == 1 {
+			noisy = noisy.ReverseComplement()
+		}
+		s := noisy.String()
+		records = append(records, Record{ID: "r", Seq: s, Quality: strings.Repeat("I", len(s))})
+	}
+	// Add junk that must be filtered out.
+	records = append(records,
+		Record{ID: "n", Seq: "ACGNNACG", Quality: "IIIIIIII"},
+		Record{ID: "junk", Seq: strings.Repeat("ACGT", 30), Quality: strings.Repeat("I", 120)},
+	)
+
+	out, stats := Preprocess(records, pair, 3)
+	if stats.Total != n+2 {
+		t.Fatalf("total = %d", stats.Total)
+	}
+	if stats.InvalidBases != 1 {
+		t.Fatalf("invalid = %d", stats.InvalidBases)
+	}
+	if stats.UnmatchedPrimers < 1 {
+		t.Fatalf("junk read not rejected: %+v", stats)
+	}
+	if stats.Kept < n*8/10 {
+		t.Fatalf("kept only %d/%d", stats.Kept, n)
+	}
+	if stats.ReverseOriented < n/4 {
+		t.Fatalf("reverse-oriented count %d implausible", stats.ReverseOriented)
+	}
+	// Most preprocessed reads should be near their original inner payload.
+	close := 0
+	for i, read := range out {
+		_ = i
+		best := 1 << 30
+		for _, inner := range inners {
+			if d := editDistanceApprox(read, inner); d < best {
+				best = d
+			}
+		}
+		if best <= 8 {
+			close++
+		}
+	}
+	if close < len(out)*9/10 {
+		t.Fatalf("only %d/%d preprocessed reads near an original payload", close, len(out))
+	}
+}
+
+// editDistanceApprox is a tiny local Levenshtein to avoid importing edit in
+// the test (and exercising a second implementation).
+func editDistanceApprox(a, b dna.Seq) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

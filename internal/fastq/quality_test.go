@@ -1,0 +1,47 @@
+package fastq
+
+import "testing"
+
+func TestMeanPhred(t *testing.T) {
+	cases := []struct {
+		qual string
+		want float64
+	}{
+		{"", 0},
+		{"!", 0},   // '!' = Phred 0
+		{"I", 40},  // 'I' = Phred 40
+		{"!I", 20}, // mean of 0 and 40
+		{"IIII", 40},
+	}
+	for _, tc := range cases {
+		r := Record{Quality: tc.qual}
+		if got := r.MeanPhred(); got != tc.want {
+			t.Errorf("MeanPhred(%q) = %v, want %v", tc.qual, got, tc.want)
+		}
+	}
+}
+
+func TestFilterByQuality(t *testing.T) {
+	records := []Record{
+		{ID: "good", Seq: "ACGT", Quality: "IIII"},
+		{ID: "bad", Seq: "ACGT", Quality: "!!!!"},
+		{ID: "mid", Seq: "ACGT", Quality: "!!II"},
+	}
+	kept, dropped := FilterByQuality(records, 15)
+	if dropped != 1 || len(kept) != 2 {
+		t.Fatalf("kept %d dropped %d", len(kept), dropped)
+	}
+	for _, r := range kept {
+		if r.ID == "bad" {
+			t.Fatal("bad record kept")
+		}
+	}
+	kept, dropped = FilterByQuality(records, 0)
+	if dropped != 0 || len(kept) != 3 {
+		t.Fatal("threshold 0 should keep everything")
+	}
+	kept, dropped = FilterByQuality(nil, 10)
+	if kept != nil || dropped != 0 {
+		t.Fatal("nil records")
+	}
+}

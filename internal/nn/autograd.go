@@ -1,0 +1,301 @@
+// Package nn is a small, dependency-free neural-network substrate: a
+// tape-based reverse-mode autograd over float64 vectors, GRU cells, a
+// bidirectional encoder, a Bahdanau-attention decoder and an Adam optimizer.
+// It exists to reproduce the paper's RNN wetlab simulator (§V-B, Fig. 4):
+// a sequence-to-sequence model with attention that learns
+// Pr(noisy strand | clean strand) from paired reads.
+package nn
+
+import "math"
+
+// V is a vector value on the autograd tape, with its gradient.
+type V struct {
+	X []float64 // value
+	G []float64 // gradient, same length
+}
+
+// NewV returns a zero vector of length n with a gradient buffer.
+func NewV(n int) *V {
+	return &V{X: make([]float64, n), G: make([]float64, n)}
+}
+
+// FromSlice wraps the given values in a V (copying them).
+func FromSlice(xs []float64) *V {
+	v := NewV(len(xs))
+	copy(v.X, xs)
+	return v
+}
+
+// Tape records operations for reverse-mode differentiation. Forward methods
+// compute values immediately and push a backward closure; Backward runs the
+// closures in reverse. A Tape is single-use per training step.
+type Tape struct {
+	backward []func()
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Backward runs all recorded backward closures in reverse order. Callers
+// seed the gradient of the loss node(s) before invoking it.
+func (t *Tape) Backward() {
+	for i := len(t.backward) - 1; i >= 0; i-- {
+		t.backward[i]()
+	}
+}
+
+// Mat is a dense rows×cols parameter matrix with gradient storage.
+type Mat struct {
+	Rows, Cols int
+	X, G       []float64
+}
+
+// NewMat returns a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, X: make([]float64, rows*cols), G: make([]float64, rows*cols)}
+}
+
+// MatVec computes y = W·x.
+func (t *Tape) MatVec(w *Mat, x *V) *V {
+	y := NewV(w.Rows)
+	for r := 0; r < w.Rows; r++ {
+		row := w.X[r*w.Cols : (r+1)*w.Cols]
+		s := 0.0
+		for c, v := range x.X {
+			s += row[c] * v
+		}
+		y.X[r] = s
+	}
+	t.backward = append(t.backward, func() {
+		for r := 0; r < w.Rows; r++ {
+			gy := y.G[r]
+			if gy == 0 {
+				continue
+			}
+			row := w.X[r*w.Cols : (r+1)*w.Cols]
+			grow := w.G[r*w.Cols : (r+1)*w.Cols]
+			for c := range x.X {
+				grow[c] += gy * x.X[c]
+				x.G[c] += gy * row[c]
+			}
+		}
+	})
+	return y
+}
+
+// Add computes a + b elementwise.
+func (t *Tape) Add(a, b *V) *V {
+	y := NewV(len(a.X))
+	for i := range y.X {
+		y.X[i] = a.X[i] + b.X[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range y.G {
+			a.G[i] += y.G[i]
+			b.G[i] += y.G[i]
+		}
+	})
+	return y
+}
+
+// Add3 computes a + b + c elementwise (common in gate pre-activations).
+func (t *Tape) Add3(a, b, c *V) *V {
+	return t.Add(t.Add(a, b), c)
+}
+
+// Mul computes a ⊙ b elementwise.
+func (t *Tape) Mul(a, b *V) *V {
+	y := NewV(len(a.X))
+	for i := range y.X {
+		y.X[i] = a.X[i] * b.X[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range y.G {
+			a.G[i] += y.G[i] * b.X[i]
+			b.G[i] += y.G[i] * a.X[i]
+		}
+	})
+	return y
+}
+
+// OneMinusMulAdd computes (1−z)⊙h + z⊙hTilde, the GRU state blend.
+func (t *Tape) OneMinusMulAdd(z, h, hTilde *V) *V {
+	y := NewV(len(z.X))
+	for i := range y.X {
+		y.X[i] = (1-z.X[i])*h.X[i] + z.X[i]*hTilde.X[i]
+	}
+	t.backward = append(t.backward, func() {
+		for i := range y.G {
+			gy := y.G[i]
+			z.G[i] += gy * (hTilde.X[i] - h.X[i])
+			h.G[i] += gy * (1 - z.X[i])
+			hTilde.G[i] += gy * z.X[i]
+		}
+	})
+	return y
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (t *Tape) Sigmoid(a *V) *V {
+	y := NewV(len(a.X))
+	for i, v := range a.X {
+		y.X[i] = 1 / (1 + math.Exp(-v))
+	}
+	t.backward = append(t.backward, func() {
+		for i := range y.G {
+			a.G[i] += y.G[i] * y.X[i] * (1 - y.X[i])
+		}
+	})
+	return y
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *V) *V {
+	y := NewV(len(a.X))
+	for i, v := range a.X {
+		y.X[i] = math.Tanh(v)
+	}
+	t.backward = append(t.backward, func() {
+		for i := range y.G {
+			a.G[i] += y.G[i] * (1 - y.X[i]*y.X[i])
+		}
+	})
+	return y
+}
+
+// Concat concatenates a and b.
+func (t *Tape) Concat(a, b *V) *V {
+	y := NewV(len(a.X) + len(b.X))
+	copy(y.X, a.X)
+	copy(y.X[len(a.X):], b.X)
+	t.backward = append(t.backward, func() {
+		for i := range a.G {
+			a.G[i] += y.G[i]
+		}
+		for i := range b.G {
+			b.G[i] += y.G[len(a.G)+i]
+		}
+	})
+	return y
+}
+
+// Dot computes the scalar a·b as a length-1 vector.
+func (t *Tape) Dot(a, b *V) *V {
+	y := NewV(1)
+	s := 0.0
+	for i := range a.X {
+		s += a.X[i] * b.X[i]
+	}
+	y.X[0] = s
+	t.backward = append(t.backward, func() {
+		g := y.G[0]
+		if g == 0 {
+			return
+		}
+		for i := range a.X {
+			a.G[i] += g * b.X[i]
+			b.G[i] += g * a.X[i]
+		}
+	})
+	return y
+}
+
+// Stack concatenates length-1 vectors into one vector (for attention scores).
+func (t *Tape) Stack(scalars []*V) *V {
+	y := NewV(len(scalars))
+	for i, s := range scalars {
+		y.X[i] = s.X[0]
+	}
+	t.backward = append(t.backward, func() {
+		for i, s := range scalars {
+			s.G[0] += y.G[i]
+		}
+	})
+	return y
+}
+
+// Softmax computes the softmax of a with full Jacobian backward.
+func (t *Tape) Softmax(a *V) *V {
+	y := NewV(len(a.X))
+	maxV := math.Inf(-1)
+	for _, v := range a.X {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range a.X {
+		e := math.Exp(v - maxV)
+		y.X[i] = e
+		sum += e
+	}
+	for i := range y.X {
+		y.X[i] /= sum
+	}
+	t.backward = append(t.backward, func() {
+		dot := 0.0
+		for i := range y.X {
+			dot += y.G[i] * y.X[i]
+		}
+		for i := range a.G {
+			a.G[i] += y.X[i] * (y.G[i] - dot)
+		}
+	})
+	return y
+}
+
+// WeightedSum computes Σ alpha_i · hs_i, the attention context vector.
+func (t *Tape) WeightedSum(alpha *V, hs []*V) *V {
+	n := len(hs[0].X)
+	y := NewV(n)
+	for i, h := range hs {
+		a := alpha.X[i]
+		for j := range h.X {
+			y.X[j] += a * h.X[j]
+		}
+	}
+	t.backward = append(t.backward, func() {
+		for i, h := range hs {
+			a := alpha.X[i]
+			s := 0.0
+			for j := range h.X {
+				h.G[j] += y.G[j] * a
+				s += y.G[j] * h.X[j]
+			}
+			alpha.G[i] += s
+		}
+	})
+	return y
+}
+
+// CrossEntropy computes −log softmax(logits)[target], seeds the logits
+// gradient scaled by weight, and returns the loss value. It is a terminal
+// op: the gradient flows without an explicit loss node.
+func (t *Tape) CrossEntropy(logits *V, target int, weight float64) float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits.X {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, len(logits.X))
+	for i, v := range logits.X {
+		probs[i] = math.Exp(v - maxV)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	loss := -math.Log(math.Max(probs[target], 1e-12)) * weight
+	t.backward = append(t.backward, func() {
+		for i := range logits.G {
+			g := probs[i]
+			if i == target {
+				g -= 1
+			}
+			logits.G[i] += g * weight
+		}
+	})
+	return loss
+}

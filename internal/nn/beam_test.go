@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"testing"
+
+	"dnastore/internal/xrand"
+)
+
+func TestBeamWidthOneMatchesGreedy(t *testing.T) {
+	m := NewSeq2Seq(Config{Hidden: 8, Embed: 4, Seed: 21})
+	src := []int{TokA, TokC, TokG, TokT, TokG, TokC}
+	rng := xrand.New(22)
+	greedy := m.Generate(rng, src, 20, 0)
+	beam := m.GenerateBeam(src, 20, 1)
+	if !equalTokens(greedy, beam) {
+		t.Fatalf("beam width 1 %v != greedy %v", beam, greedy)
+	}
+}
+
+func TestBeamIsDeterministic(t *testing.T) {
+	m := NewSeq2Seq(Config{Hidden: 8, Embed: 4, Seed: 23})
+	src := []int{TokT, TokT, TokA, TokC}
+	a := m.GenerateBeam(src, 15, 3)
+	b := m.GenerateBeam(src, 15, 3)
+	if !equalTokens(a, b) {
+		t.Fatal("beam search is nondeterministic")
+	}
+}
+
+func TestBeamFindsAtLeastGreedyLikelihood(t *testing.T) {
+	// On a trained model, the wider beam's sequence log-probability must be
+	// at least the greedy sequence's.
+	m := NewSeq2Seq(Config{Hidden: 16, Embed: 6, Seed: 24})
+	pairs := []TokenPair{
+		{Src: []int{TokA, TokC, TokG, TokT}, Tgt: []int{TokA, TokC, TokG, TokT}},
+		{Src: []int{TokG, TokG, TokC, TokA}, Tgt: []int{TokG, TokG, TokC, TokA}},
+	}
+	tr := NewTrainer(m, 0.01)
+	rng := xrand.New(25)
+	for e := 0; e < 30; e++ {
+		tr.Epoch(pairs, rng)
+	}
+	src := pairs[0].Src
+	greedy := m.Generate(rng, src, 12, 0)
+	wide := m.GenerateBeam(src, 12, 4)
+	lpGreedy := m.sequenceLogProb(src, greedy)
+	lpWide := m.sequenceLogProb(src, wide)
+	if lpWide < lpGreedy-1e-9 {
+		t.Fatalf("beam logprob %v below greedy %v", lpWide, lpGreedy)
+	}
+}
+
+func TestBeamEmptySource(t *testing.T) {
+	m := NewSeq2Seq(Config{Hidden: 4, Embed: 3, Seed: 26})
+	if out := m.GenerateBeam(nil, 10, 3); out != nil {
+		t.Fatal("empty source should yield nil")
+	}
+}
+
+func TestBeamMaxLenRespected(t *testing.T) {
+	m := NewSeq2Seq(Config{Hidden: 6, Embed: 4, Seed: 27})
+	out := m.GenerateBeam([]int{TokA, TokG}, 4, 3)
+	if len(out) > 4 {
+		t.Fatalf("beam exceeded maxLen: %d tokens", len(out))
+	}
+}
+
+// sequenceLogProb scores a target sequence (without EOS) under the model.
+func (m *Seq2Seq) sequenceLogProb(src, tgt []int) float64 {
+	t := NewTape()
+	ann, s := m.encode(t, src)
+	uaAnn := make([]*V, len(ann))
+	for i := range ann {
+		uaAnn[i] = t.MatVec(m.ua, ann[i])
+	}
+	prev := TokSOS
+	total := 0.0
+	for k := 0; k <= len(tgt); k++ {
+		target := TokEOS
+		if k < len(tgt) {
+			target = tgt[k]
+		}
+		ctx, _ := m.attend(t, s, ann, uaAnn)
+		x := t.Concat(m.lookup(t, prev), ctx)
+		s = m.dec.Step(t, x, s)
+		logits := t.Add(t.MatVec(m.wo, t.Concat(s, ctx)), m.bo)
+		total += logSoftmax(logits.X)[target]
+		prev = target
+	}
+	return total
+}

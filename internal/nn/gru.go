@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"math"
+
+	"dnastore/internal/xrand"
+)
+
+// Params collects trainable tensors for the optimizer.
+type Params struct {
+	mats []*Mat
+	vecs []*V
+}
+
+func (p *Params) addMat(rows, cols int, rng *xrand.RNG) *Mat {
+	m := NewMat(rows, cols)
+	// Xavier/Glorot uniform initialization.
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range m.X {
+		m.X[i] = (2*rng.Float64() - 1) * scale
+	}
+	p.mats = append(p.mats, m)
+	return m
+}
+
+func (p *Params) addVec(n int) *V {
+	v := NewV(n)
+	p.vecs = append(p.vecs, v)
+	return v
+}
+
+// ZeroGrad clears all parameter gradients.
+func (p *Params) ZeroGrad() {
+	for _, m := range p.mats {
+		for i := range m.G {
+			m.G[i] = 0
+		}
+	}
+	for _, v := range p.vecs {
+		for i := range v.G {
+			v.G[i] = 0
+		}
+	}
+}
+
+// Count returns the total number of scalar parameters.
+func (p *Params) Count() int {
+	n := 0
+	for _, m := range p.mats {
+		n += len(m.X)
+	}
+	for _, v := range p.vecs {
+		n += len(v.X)
+	}
+	return n
+}
+
+// ClipGrad scales gradients so their global L2 norm is at most maxNorm.
+func (p *Params) ClipGrad(maxNorm float64) {
+	var sq float64
+	for _, m := range p.mats {
+		for _, g := range m.G {
+			sq += g * g
+		}
+	}
+	for _, v := range p.vecs {
+		for _, g := range v.G {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	s := maxNorm / norm
+	for _, m := range p.mats {
+		for i := range m.G {
+			m.G[i] *= s
+		}
+	}
+	for _, v := range p.vecs {
+		for i := range v.G {
+			v.G[i] *= s
+		}
+	}
+}
+
+// GRUCell is a gated recurrent unit (Cho et al. 2014), the cell the paper
+// chooses over LSTM for its resistance to overfitting.
+type GRUCell struct {
+	Wz, Uz     *Mat
+	Wr, Ur     *Mat
+	Wh, Uh     *Mat
+	Bz, Br, Bh *V
+	Hidden     int
+}
+
+// NewGRUCell returns a GRU with the given input and hidden sizes, its
+// parameters registered in params.
+func NewGRUCell(params *Params, inputSize, hidden int, rng *xrand.RNG) *GRUCell {
+	return &GRUCell{
+		Wz: params.addMat(hidden, inputSize, rng), Uz: params.addMat(hidden, hidden, rng),
+		Wr: params.addMat(hidden, inputSize, rng), Ur: params.addMat(hidden, hidden, rng),
+		Wh: params.addMat(hidden, inputSize, rng), Uh: params.addMat(hidden, hidden, rng),
+		Bz: params.addVec(hidden), Br: params.addVec(hidden), Bh: params.addVec(hidden),
+		Hidden: hidden,
+	}
+}
+
+// Step advances the cell: h' = (1−z)⊙h + z⊙tanh(Wh·x + Uh·(r⊙h) + bh).
+func (c *GRUCell) Step(t *Tape, x, h *V) *V {
+	z := t.Sigmoid(t.Add3(t.MatVec(c.Wz, x), t.MatVec(c.Uz, h), c.Bz))
+	r := t.Sigmoid(t.Add3(t.MatVec(c.Wr, x), t.MatVec(c.Ur, h), c.Br))
+	hTilde := t.Tanh(t.Add3(t.MatVec(c.Wh, x), t.MatVec(c.Uh, t.Mul(r, h)), c.Bh))
+	return t.OneMinusMulAdd(z, h, hTilde)
+}
+
+// Adam is the Adam optimizer over a parameter set.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	step                  int
+	mMats, vMats          [][]float64
+	mVecs, vVecs          [][]float64
+	params                *Params
+}
+
+// NewAdam returns an Adam optimizer with standard defaults.
+func NewAdam(params *Params, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, m := range params.mats {
+		a.mMats = append(a.mMats, make([]float64, len(m.X)))
+		a.vMats = append(a.vMats, make([]float64, len(m.X)))
+	}
+	for _, v := range params.vecs {
+		a.mVecs = append(a.mVecs, make([]float64, len(v.X)))
+		a.vVecs = append(a.vVecs, make([]float64, len(v.X)))
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients.
+func (a *Adam) Step() {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	update := func(x, g, m, v []float64) {
+		for i := range x {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			x[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+	for i, mat := range a.params.mats {
+		update(mat.X, mat.G, a.mMats[i], a.vMats[i])
+	}
+	for i, vec := range a.params.vecs {
+		update(vec.X, vec.G, a.mVecs[i], a.vVecs[i])
+	}
+}

@@ -1,0 +1,365 @@
+package nn
+
+import (
+	"math"
+
+	"dnastore/internal/xrand"
+)
+
+// Token vocabulary for DNA sequence-to-sequence models: the four bases plus
+// end-of-sequence, and a start-of-sequence token used only as decoder input.
+const (
+	TokA = iota
+	TokC
+	TokG
+	TokT
+	TokEOS
+	TokSOS
+	VocabIn  = 6 // embedding table size
+	VocabOut = 5 // output distribution: bases + EOS
+)
+
+// Config sizes a Seq2Seq model. The paper's optimal configuration uses a
+// single GRU layer in encoder and decoder with hidden size 128; tests use
+// much smaller models.
+type Config struct {
+	Hidden int // GRU hidden size (both encoder directions and decoder)
+	Embed  int // token embedding size
+	Attn   int // attention hidden size
+	Seed   uint64
+}
+
+// Seq2Seq is the attention-based encoder–decoder of Fig. 4: a bidirectional
+// GRU encoder produces one annotation per input base; a unidirectional GRU
+// decoder generates the noisy strand token by token, attending over the
+// annotations with Bahdanau (additive) attention.
+type Seq2Seq struct {
+	cfg    Config
+	params *Params
+
+	embed  *Mat // VocabIn × Embed, one row per token
+	encFwd *GRUCell
+	encBwd *GRUCell
+	dec    *GRUCell
+
+	wa *Mat // Attn × Hidden      (decoder state projection)
+	ua *Mat // Attn × 2·Hidden    (annotation projection)
+	va *V   // Attn               (score vector)
+
+	wb *Mat // Hidden × 2·Hidden  (bridge: encoder ends → decoder init)
+	wo *Mat // VocabOut × (Hidden + 2·Hidden)
+	bo *V
+}
+
+// NewSeq2Seq builds a model with Xavier-initialized parameters.
+func NewSeq2Seq(cfg Config) *Seq2Seq {
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 32
+	}
+	if cfg.Embed == 0 {
+		cfg.Embed = 8
+	}
+	if cfg.Attn == 0 {
+		cfg.Attn = cfg.Hidden
+	}
+	rng := xrand.New(cfg.Seed ^ 0x5eed)
+	p := &Params{}
+	m := &Seq2Seq{
+		cfg:    cfg,
+		params: p,
+		embed:  p.addMat(VocabIn, cfg.Embed, rng),
+		encFwd: NewGRUCell(p, cfg.Embed, cfg.Hidden, rng),
+		encBwd: NewGRUCell(p, cfg.Embed, cfg.Hidden, rng),
+		dec:    NewGRUCell(p, cfg.Embed+2*cfg.Hidden, cfg.Hidden, rng),
+		wa:     p.addMat(cfg.Attn, cfg.Hidden, rng),
+		ua:     p.addMat(cfg.Attn, 2*cfg.Hidden, rng),
+		va:     p.addVec(cfg.Attn),
+		wb:     p.addMat(cfg.Hidden, 2*cfg.Hidden, rng),
+		wo:     p.addMat(VocabOut, 3*cfg.Hidden, rng),
+		bo:     p.addVec(VocabOut),
+	}
+	// A zero va yields uniform attention forever (zero gradient through the
+	// softmax direction); give it a small random start.
+	for i := range m.va.X {
+		m.va.X[i] = (2*rng.Float64() - 1) * 0.2
+	}
+	return m
+}
+
+// NumParams returns the number of scalar parameters.
+func (m *Seq2Seq) NumParams() int { return m.params.Count() }
+
+// lookup fetches the embedding row of a token as a tape node.
+func (m *Seq2Seq) lookup(t *Tape, token int) *V {
+	e := m.embed
+	y := NewV(e.Cols)
+	copy(y.X, e.X[token*e.Cols:(token+1)*e.Cols])
+	t.backward = append(t.backward, func() {
+		grow := e.G[token*e.Cols : (token+1)*e.Cols]
+		for i := range y.G {
+			grow[i] += y.G[i]
+		}
+	})
+	return y
+}
+
+// encode runs the bidirectional encoder and returns the annotations and the
+// decoder's initial state.
+func (m *Seq2Seq) encode(t *Tape, src []int) (ann []*V, s0 *V) {
+	n := len(src)
+	emb := make([]*V, n)
+	for i, tok := range src {
+		emb[i] = m.lookup(t, tok)
+	}
+	hF := make([]*V, n)
+	h := NewV(m.cfg.Hidden)
+	for i := 0; i < n; i++ {
+		h = m.encFwd.Step(t, emb[i], h)
+		hF[i] = h
+	}
+	hB := make([]*V, n)
+	h = NewV(m.cfg.Hidden)
+	for i := n - 1; i >= 0; i-- {
+		h = m.encBwd.Step(t, emb[i], h)
+		hB[i] = h
+	}
+	ann = make([]*V, n)
+	for i := 0; i < n; i++ {
+		ann[i] = t.Concat(hF[i], hB[i])
+	}
+	s0 = t.Tanh(t.MatVec(m.wb, t.Concat(hF[n-1], hB[0])))
+	return ann, s0
+}
+
+// attend computes the context vector for decoder state s over annotations,
+// given the precomputed Ua·ann projections.
+func (m *Seq2Seq) attend(t *Tape, s *V, ann, uaAnn []*V) (*V, *V) {
+	was := t.MatVec(m.wa, s)
+	scores := make([]*V, len(ann))
+	for i := range ann {
+		scores[i] = t.Dot(m.va, t.Tanh(t.Add(was, uaAnn[i])))
+	}
+	alpha := t.Softmax(t.Stack(scores))
+	return t.WeightedSum(alpha, ann), alpha
+}
+
+// Loss runs teacher-forced decoding of tgt given src and returns the mean
+// per-token cross entropy. When train is true, gradients are accumulated
+// into the parameters (callers then ClipGrad and Step an optimizer).
+func (m *Seq2Seq) Loss(src, tgt []int, train bool) float64 {
+	t := NewTape()
+	ann, s := m.encode(t, src)
+	uaAnn := make([]*V, len(ann))
+	for i := range ann {
+		uaAnn[i] = t.MatVec(m.ua, ann[i])
+	}
+	steps := len(tgt) + 1 // tgt tokens then EOS
+	weight := 1 / float64(steps)
+	loss := 0.0
+	prev := TokSOS
+	for k := 0; k < steps; k++ {
+		target := TokEOS
+		if k < len(tgt) {
+			target = tgt[k]
+		}
+		ctx, _ := m.attend(t, s, ann, uaAnn)
+		x := t.Concat(m.lookup(t, prev), ctx)
+		s = m.dec.Step(t, x, s)
+		logits := t.Add(t.MatVec(m.wo, t.Concat(s, ctx)), m.bo)
+		loss += t.CrossEntropy(logits, target, weight)
+		prev = target // teacher forcing
+	}
+	if train {
+		t.Backward()
+	}
+	return loss
+}
+
+// Generate decodes a noisy strand for src. With temperature <= 0 it is
+// greedy (argmax); otherwise tokens are sampled from the softmax at the
+// given temperature, which is how the simulator draws distinct reads.
+func (m *Seq2Seq) Generate(rng *xrand.RNG, src []int, maxLen int, temperature float64) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	t := NewTape() // tape unused for gradients; reuses forward machinery
+	ann, s := m.encode(t, src)
+	uaAnn := make([]*V, len(ann))
+	for i := range ann {
+		uaAnn[i] = t.MatVec(m.ua, ann[i])
+	}
+	var out []int
+	prev := TokSOS
+	for k := 0; k < maxLen; k++ {
+		ctx, _ := m.attend(t, s, ann, uaAnn)
+		x := t.Concat(m.lookup(t, prev), ctx)
+		s = m.dec.Step(t, x, s)
+		logits := t.Add(t.MatVec(m.wo, t.Concat(s, ctx)), m.bo)
+		tok := pickToken(rng, logits.X, temperature)
+		if tok == TokEOS {
+			break
+		}
+		out = append(out, tok)
+		prev = tok
+	}
+	return out
+}
+
+// GenerateBeam decodes with beam search: it keeps the width most probable
+// partial sequences and returns the completed sequence with the highest
+// total log-probability. Deterministic; the paper names it as the
+// alternative to greedy sampling for the decoder's output.
+func (m *Seq2Seq) GenerateBeam(src []int, maxLen, width int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	if width < 1 {
+		width = 1
+	}
+	t := NewTape()
+	ann, s0 := m.encode(t, src)
+	uaAnn := make([]*V, len(ann))
+	for i := range ann {
+		uaAnn[i] = t.MatVec(m.ua, ann[i])
+	}
+	type beam struct {
+		tokens  []int
+		state   *V
+		prev    int
+		logProb float64
+		done    bool
+	}
+	beams := []beam{{state: s0, prev: TokSOS}}
+	for step := 0; step < maxLen; step++ {
+		var next []beam
+		allDone := true
+		for _, b := range beams {
+			if b.done {
+				next = append(next, b)
+				continue
+			}
+			allDone = false
+			ctx, _ := m.attend(t, b.state, ann, uaAnn)
+			x := t.Concat(m.lookup(t, b.prev), ctx)
+			s := m.dec.Step(t, x, b.state)
+			logits := t.Add(t.MatVec(m.wo, t.Concat(s, ctx)), m.bo)
+			logProbs := logSoftmax(logits.X)
+			for tok, lp := range logProbs {
+				nb := beam{
+					tokens:  append(append([]int(nil), b.tokens...), tok),
+					state:   s,
+					prev:    tok,
+					logProb: b.logProb + lp,
+					done:    tok == TokEOS,
+				}
+				if nb.done {
+					nb.tokens = nb.tokens[:len(nb.tokens)-1] // drop EOS
+				}
+				next = append(next, nb)
+			}
+		}
+		if allDone {
+			break
+		}
+		// Keep the top `width` beams; deterministic tie-break by token order.
+		for i := 1; i < len(next); i++ {
+			for j := i; j > 0 && next[j].logProb > next[j-1].logProb; j-- {
+				next[j], next[j-1] = next[j-1], next[j]
+			}
+		}
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams = next
+	}
+	best := beams[0]
+	for _, b := range beams[1:] {
+		if b.logProb > best.logProb {
+			best = b
+		}
+	}
+	return best.tokens
+}
+
+func logSoftmax(logits []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits {
+		sum += math.Exp(v - maxV)
+	}
+	logZ := maxV + math.Log(sum)
+	out := make([]float64, len(logits))
+	for i, v := range logits {
+		out[i] = v - logZ
+	}
+	return out
+}
+
+func pickToken(rng *xrand.RNG, logits []float64, temperature float64) int {
+	if temperature <= 0 {
+		best, bestV := 0, math.Inf(-1)
+		for i, v := range logits {
+			if v > bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v/temperature > maxV {
+			maxV = v / temperature
+		}
+	}
+	probs := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		probs[i] = math.Exp(v/temperature - maxV)
+		sum += probs[i]
+	}
+	u := rng.Float64() * sum
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(logits) - 1
+}
+
+// TokenPair is a training example: clean source and noisy target tokens.
+type TokenPair struct {
+	Src, Tgt []int
+}
+
+// Trainer wraps a model with an Adam optimizer and gradient clipping.
+type Trainer struct {
+	Model *Seq2Seq
+	opt   *Adam
+	Clip  float64
+}
+
+// NewTrainer returns a Trainer with the given learning rate.
+func NewTrainer(m *Seq2Seq, lr float64) *Trainer {
+	return &Trainer{Model: m, opt: NewAdam(m.params, lr), Clip: 5}
+}
+
+// Epoch performs one pass of per-example SGD over the (shuffled) pairs and
+// returns the mean loss.
+func (tr *Trainer) Epoch(pairs []TokenPair, rng *xrand.RNG) float64 {
+	order := rng.Perm(len(pairs))
+	total := 0.0
+	for _, i := range order {
+		tr.Model.params.ZeroGrad()
+		total += tr.Model.Loss(pairs[i].Src, pairs[i].Tgt, true)
+		tr.Model.params.ClipGrad(tr.Clip)
+		tr.opt.Step()
+	}
+	return total / float64(len(pairs))
+}

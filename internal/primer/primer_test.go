@@ -1,0 +1,207 @@
+package primer
+
+import (
+	"errors"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+func TestDesignConstraints(t *testing.T) {
+	pairs, err := Design(1, 4, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 4 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	var all []dna.Seq
+	for _, p := range pairs {
+		for _, pr := range []dna.Seq{p.Forward, p.Reverse} {
+			if len(pr) != 20 {
+				t.Fatalf("primer length %d", len(pr))
+			}
+			if gc := pr.GCContent(); gc < 0.40 || gc > 0.60 {
+				t.Fatalf("GC content %v out of range", gc)
+			}
+			if pr.MaxHomopolymer() > 3 {
+				t.Fatalf("homopolymer %d too long", pr.MaxHomopolymer())
+			}
+			all = append(all, pr, pr.ReverseComplement())
+		}
+	}
+	minDist := 20 / 3
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if d := dna.Hamming(all[i], all[j]); d < minDist {
+				t.Fatalf("primers %d,%d at Hamming distance %d < %d", i, j, d, minDist)
+			}
+		}
+	}
+}
+
+func TestDesignDeterministic(t *testing.T) {
+	a, err := Design(7, 2, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Design(7, 2, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Forward.Equal(b[i].Forward) || !a[i].Reverse.Equal(b[i].Reverse) {
+			t.Fatal("design is not deterministic")
+		}
+	}
+}
+
+func TestDesignImpossibleConstraints(t *testing.T) {
+	_, err := Design(1, 3, DesignOptions{Length: 4, MinDistance: 4, MaxAttempts: 200})
+	if err == nil {
+		t.Fatal("expected failure for impossible constraints")
+	}
+	if !errors.Is(err, ErrDesignFailed) {
+		t.Fatalf("error %v does not wrap ErrDesignFailed", err)
+	}
+}
+
+func TestAttach(t *testing.T) {
+	p := Pair{Forward: dna.MustFromString("ACGT"), Reverse: dna.MustFromString("TTGG")}
+	inner := dna.MustFromString("CCAA")
+	got := p.Attach(inner)
+	if got.String() != "ACGTCCAATTGG" {
+		t.Fatalf("Attach = %q", got.String())
+	}
+}
+
+func designOne(t *testing.T) Pair {
+	t.Helper()
+	pairs, err := Design(3, 1, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs[0]
+}
+
+func TestOrientForward(t *testing.T) {
+	p := designOne(t)
+	rng := xrand.New(1)
+	mol := p.Attach(dna.Random(rng, 60))
+	got, o := Orient(mol, p, 3)
+	if o != ForwardStrand || !got.Equal(mol) {
+		t.Fatalf("orientation = %v", o)
+	}
+}
+
+func TestOrientReverse(t *testing.T) {
+	p := designOne(t)
+	rng := xrand.New(2)
+	mol := p.Attach(dna.Random(rng, 60))
+	rc := mol.ReverseComplement()
+	got, o := Orient(rc, p, 3)
+	if o != ReverseStrand {
+		t.Fatalf("orientation = %v", o)
+	}
+	if !got.Equal(mol) {
+		t.Fatal("reverse read not normalized to forward")
+	}
+}
+
+func TestOrientUnknown(t *testing.T) {
+	p := designOne(t)
+	rng := xrand.New(3)
+	junk := dna.Random(rng, 100)
+	_, o := Orient(junk, p, 2)
+	if o != Unknown {
+		t.Fatalf("random read matched with orientation %v", o)
+	}
+}
+
+func TestOrientWithNoise(t *testing.T) {
+	p := designOne(t)
+	rng := xrand.New(4)
+	inner := dna.Random(rng, 60)
+	mol := p.Attach(inner)
+	// Introduce two substitutions inside the forward primer.
+	noisy := mol.Clone()
+	noisy[2] ^= 1
+	noisy[7] ^= 2
+	if _, o := Orient(noisy, p, 3); o != ForwardStrand {
+		t.Fatalf("noisy forward read: orientation %v", o)
+	}
+	if _, o := Orient(noisy.ReverseComplement(), p, 3); o != ReverseStrand {
+		t.Fatalf("noisy reverse read: orientation %v", o)
+	}
+}
+
+func TestTrimExact(t *testing.T) {
+	p := designOne(t)
+	rng := xrand.New(5)
+	inner := dna.Random(rng, 60)
+	mol := p.Attach(inner)
+	got, ok := Trim(mol, p, 3)
+	if !ok {
+		t.Fatal("trim failed")
+	}
+	if !got.Equal(inner) {
+		t.Fatalf("trim = %v, want %v", got, inner)
+	}
+}
+
+func TestTrimWithIndelInPrimer(t *testing.T) {
+	p := designOne(t)
+	rng := xrand.New(6)
+	inner := dna.Random(rng, 60)
+	mol := p.Attach(inner)
+	// Delete one base from the forward primer region.
+	noisy := append(mol[:4:4].Clone(), mol[5:]...)
+	got, ok := Trim(noisy, p, 3)
+	if !ok {
+		t.Fatal("trim failed on indel read")
+	}
+	if !got.Equal(inner) {
+		t.Fatalf("trim = %v, want %v", got, inner)
+	}
+}
+
+func TestTrimTooShort(t *testing.T) {
+	p := designOne(t)
+	if _, ok := Trim(dna.MustFromString("ACGT"), p, 3); ok {
+		t.Fatal("trim accepted an impossibly short read")
+	}
+}
+
+func TestTrimRejectsForeignRead(t *testing.T) {
+	p := designOne(t)
+	rng := xrand.New(7)
+	junk := dna.Random(rng, 100)
+	if _, ok := Trim(junk, p, 2); ok {
+		t.Fatal("trim accepted a read without the primers")
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	lib, err := Design(11, 3, DesignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(8)
+	for want, p := range lib {
+		mol := p.Attach(dna.Random(rng, 50))
+		if got, _ := Identify(mol, lib, 3); got != want {
+			t.Fatalf("Identify forward = %d, want %d", got, want)
+		}
+		got, normalized := Identify(mol.ReverseComplement(), lib, 3)
+		if got != want {
+			t.Fatalf("Identify reverse = %d, want %d", got, want)
+		}
+		if !normalized.Equal(mol) {
+			t.Fatal("Identify did not normalize orientation")
+		}
+	}
+	if got, _ := Identify(dna.Random(rng, 90), lib, 2); got != -1 {
+		t.Fatalf("Identify matched junk to %d", got)
+	}
+}

@@ -1,0 +1,261 @@
+// Package recon implements the trace-reconstruction module of the pipeline
+// (§VII): recreating the originally encoded strand from a cluster of noisy
+// reads. Three algorithms are provided, as in the paper:
+//
+//   - BMA: the BMA-lookahead algorithm of Organick et al. — an incremental
+//     left-to-right majority vote in which disagreeing reads are realigned
+//     by guessing the most likely edit from a small lookahead window. Wrong
+//     guesses propagate, so later indexes reconstruct less reliably.
+//   - DoubleSidedBMA: runs BMA left-to-right for the left half and
+//     right-to-left for the right half, concentrating the propagated errors
+//     in the middle indexes (Lin et al.; §VII-B).
+//   - NW: the paper's own algorithm (§VII-C) — a multiple sequence
+//     alignment of the cluster via partial-order alignment
+//     (internal/align), followed by a per-column majority vote, trimming
+//     indel-heavy columns when the alignment exceeds the expected length.
+//
+// All algorithms reconstruct clusters independently, so ReconstructAll fans
+// out over a worker pool.
+package recon
+
+import (
+	"runtime"
+	"sync"
+
+	"dnastore/internal/align"
+	"dnastore/internal/dna"
+)
+
+// Algorithm reconstructs a consensus strand from a cluster of noisy reads.
+// targetLen is the nominal encoded strand length; implementations aim to
+// return exactly that many bases but may return fewer when a cluster is
+// exhausted early.
+type Algorithm interface {
+	Name() string
+	Reconstruct(reads []dna.Seq, targetLen int) dna.Seq
+}
+
+// BMA is the baseline BMA-lookahead algorithm (§VII-A).
+type BMA struct {
+	// Lookahead is the window used to classify a disagreement as
+	// substitution, insertion or deletion (default 3).
+	Lookahead int
+}
+
+// Name implements Algorithm.
+func (BMA) Name() string { return "bma" }
+
+func (b BMA) lookahead() int {
+	if b.Lookahead <= 0 {
+		return 3
+	}
+	return b.Lookahead
+}
+
+// Reconstruct implements Algorithm.
+func (b BMA) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	return bmaForward(reads, targetLen, b.lookahead())
+}
+
+// bmaForward runs the left-to-right BMA-lookahead consensus.
+func bmaForward(reads []dna.Seq, targetLen int, w int) dna.Seq {
+	ptr := make([]int, len(reads))
+	out := make(dna.Seq, 0, targetLen)
+	for len(out) < targetLen {
+		// Majority vote at the current pointers.
+		var votes [dna.NumBases]int
+		active := 0
+		for r, p := range ptr {
+			if p < len(reads[r]) {
+				votes[reads[r][p]]++
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+		best := dna.A
+		for bb := dna.Base(1); bb < dna.NumBases; bb++ {
+			if votes[bb] > votes[best] {
+				best = bb
+			}
+		}
+		// Predicted upcoming consensus: per-offset majority over the reads
+		// that agree with the vote (their next bases), falling back to all
+		// active reads when nobody agrees.
+		future := make([]dna.Base, w)
+		for k := 0; k < w; k++ {
+			var fv [dna.NumBases]int
+			any := false
+			for r, p := range ptr {
+				if p < len(reads[r]) && reads[r][p] == best && p+1+k < len(reads[r]) {
+					fv[reads[r][p+1+k]]++
+					any = true
+				}
+			}
+			if !any {
+				for r, p := range ptr {
+					if p+1+k < len(reads[r]) {
+						fv[reads[r][p+1+k]]++
+					}
+				}
+			}
+			f := dna.A
+			for bb := dna.Base(1); bb < dna.NumBases; bb++ {
+				if fv[bb] > fv[f] {
+					f = bb
+				}
+			}
+			future[k] = f
+		}
+		out = append(out, best)
+		// Advance pointers, realigning disagreeing reads by the most likely
+		// edit (§VII-A).
+		for r := range ptr {
+			p := ptr[r]
+			read := reads[r]
+			if p >= len(read) {
+				continue
+			}
+			if read[p] == best {
+				ptr[r] = p + 1
+				continue
+			}
+			// Hypothesis scores over the lookahead window. The upcoming
+			// consensus is predicted as [best, future...]; each hypothesis
+			// aligns the read's remaining bases differently against it.
+			subScore := matchScore(read, p+1, future)
+			delScore := matchScore(read, p, future)
+			insSeq := append(dna.Seq{best}, future[:len(future)-1]...)
+			insScore := matchScore(read, p+1, insSeq)
+			switch {
+			case subScore >= delScore && subScore >= insScore:
+				ptr[r] = p + 1 // substitution: consume the wrong base
+			case delScore >= insScore:
+				// deletion in the read: the consensus base is missing, the
+				// pointer stays for the next round
+			default:
+				ptr[r] = p + 2 // insertion: skip the spurious base and best
+			}
+		}
+	}
+	return out
+}
+
+// matchScore counts matches of read[from:] against the expected bases,
+// normalized to tolerate running off the end of the read (missing positions
+// score as half a mismatch).
+func matchScore(read dna.Seq, from int, expect []dna.Base) int {
+	score := 0
+	for k, e := range expect {
+		i := from + k
+		if i >= len(read) {
+			score-- // slight penalty so shorter tails lose ties
+			continue
+		}
+		if read[i] == e {
+			score += 2
+		} else {
+			score -= 2
+		}
+	}
+	return score
+}
+
+// DoubleSidedBMA reconstructs the left half left-to-right and the right half
+// right-to-left, joining in the middle (§VII-B).
+type DoubleSidedBMA struct {
+	Lookahead int
+}
+
+// Name implements Algorithm.
+func (DoubleSidedBMA) Name() string { return "double-sided-bma" }
+
+// Reconstruct implements Algorithm.
+func (d DoubleSidedBMA) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	w := BMA{Lookahead: d.Lookahead}.lookahead()
+	leftLen := (targetLen + 1) / 2
+	rightLen := targetLen - leftLen
+	left := bmaForward(reads, leftLen, w)
+	reversed := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		reversed[i] = r.Reverse()
+	}
+	right := bmaForward(reversed, rightLen, w).Reverse()
+	out := make(dna.Seq, 0, targetLen)
+	out = append(out, left...)
+	out = append(out, right...)
+	return out
+}
+
+// NW is the paper's Needleman–Wunsch/POA reconstruction (§VII-C): multiple
+// sequence alignment of the cluster, per-column majority, indel-heavy
+// columns trimmed to the target length.
+type NW struct{}
+
+// Name implements Algorithm.
+func (NW) Name() string { return "needleman-wunsch" }
+
+// Reconstruct implements Algorithm.
+func (NW) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	return align.Consensus(reads, targetLen)
+}
+
+// ConsensusWithConfidence reconstructs a cluster with the NW/POA algorithm
+// and additionally reports a per-strand confidence: the mean vote fraction
+// of the kept consensus columns. Confidence near 1 means the reads agree
+// almost everywhere; low confidence flags clusters whose consensus should
+// be treated with suspicion (e.g. dropped in favour of an erasure).
+func ConsensusWithConfidence(reads []dna.Seq, targetLen int) (dna.Seq, float64) {
+	if len(reads) == 0 {
+		return nil, 0
+	}
+	g := align.NewGraph()
+	for _, r := range reads {
+		g.AddSequence(r)
+	}
+	consensus := g.Consensus(targetLen)
+	cols := g.Columns()
+	total := 0.0
+	counted := 0
+	for _, c := range cols {
+		b, ok := c.Majority()
+		if !ok {
+			continue
+		}
+		votes := c.Counts[b]
+		total += float64(votes) / float64(len(reads))
+		counted++
+	}
+	if counted == 0 {
+		return consensus, 0
+	}
+	return consensus, total / float64(counted)
+}
+
+// ReconstructAll reconstructs every cluster in parallel and returns one
+// consensus strand per cluster, in cluster order. Empty clusters yield nil.
+// workers <= 0 uses GOMAXPROCS.
+func ReconstructAll(clusters [][]dna.Seq, targetLen int, algo Algorithm, workers int) []dna.Seq {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]dna.Seq, len(clusters))
+	var wg sync.WaitGroup
+	if workers > len(clusters) {
+		workers = len(clusters)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(clusters); i += workers {
+				if len(clusters[i]) > 0 {
+					out[i] = algo.Reconstruct(clusters[i], targetLen)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,109 @@
+package recon
+
+import (
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+// TestContaminatedCluster checks that one foreign read (a clustering
+// mistake) cannot derail the consensus of an otherwise healthy cluster.
+func TestContaminatedCluster(t *testing.T) {
+	rng := xrand.New(71)
+	ref := dna.Random(rng, 100)
+	foreign := dna.Random(rng, 100)
+	cluster := []dna.Seq{ref.Clone(), ref.Clone(), ref.Clone(), ref.Clone(), ref.Clone(), foreign}
+	for _, algo := range algorithms {
+		got := algo.Reconstruct(cluster, len(ref))
+		if !got.Equal(ref) {
+			t.Errorf("%s: contaminated cluster reconstructed wrongly", algo.Name())
+		}
+	}
+}
+
+// TestWildlyDifferentLengths ensures truncated and over-long reads are
+// tolerated without panics and without dominating the consensus.
+func TestWildlyDifferentLengths(t *testing.T) {
+	rng := xrand.New(72)
+	ref := dna.Random(rng, 90)
+	cluster := []dna.Seq{
+		ref.Clone(),
+		ref[:30].Clone(), // heavily truncated read
+		append(ref.Clone(), dna.Random(rng, 40)...), // long chimeric tail
+		ref.Clone(),
+		ref.Clone(),
+	}
+	for _, algo := range algorithms {
+		got := algo.Reconstruct(cluster, len(ref))
+		if len(got) == 0 {
+			t.Errorf("%s: empty consensus", algo.Name())
+			continue
+		}
+		// The three full-length copies must win.
+		if !got.Equal(ref) {
+			t.Errorf("%s: consensus differs from majority reads", algo.Name())
+		}
+	}
+}
+
+// TestAllReadsEmpty must not panic and yields an empty consensus.
+func TestAllReadsEmpty(t *testing.T) {
+	for _, algo := range algorithms {
+		if got := algo.Reconstruct([]dna.Seq{{}, {}, {}}, 50); len(got) != 0 {
+			t.Errorf("%s: non-empty consensus %v from empty reads", algo.Name(), got)
+		}
+	}
+}
+
+// TestTargetLenShorterThanReads exercises truncation behaviour.
+func TestTargetLenShorterThanReads(t *testing.T) {
+	rng := xrand.New(73)
+	ref := dna.Random(rng, 80)
+	cluster := []dna.Seq{ref.Clone(), ref.Clone(), ref.Clone()}
+	for _, algo := range algorithms {
+		got := algo.Reconstruct(cluster, 40)
+		if len(got) > 41 { // DBMA may emit 40; BMA variants stop at target
+			t.Errorf("%s: target 40 produced %d bases", algo.Name(), len(got))
+		}
+		// Only plain BMA has prefix semantics: DBMA takes its right half
+		// from the read *ends* (it assumes targetLen is the true strand
+		// length), and NW trims indel-heavy columns anywhere.
+		if algo.Name() == "bma" && len(got) >= 40 && !got[:40].Equal(ref[:40]) {
+			t.Errorf("%s: truncated consensus mismatch", algo.Name())
+		}
+	}
+}
+
+// TestSingleBaseReads covers the degenerate shortest input.
+func TestSingleBaseReads(t *testing.T) {
+	cluster := []dna.Seq{{dna.G}, {dna.G}, {dna.G}}
+	for _, algo := range algorithms {
+		got := algo.Reconstruct(cluster, 1)
+		if len(got) != 1 || got[0] != dna.G {
+			t.Errorf("%s: got %v", algo.Name(), got)
+		}
+	}
+}
+
+// TestHomopolymerRuns: clusters over low-entropy strands (the classic
+// nanopore hard case) must still reconstruct with majority coverage.
+func TestHomopolymerRuns(t *testing.T) {
+	ref, _ := dna.FromString("AAAAACCCCCGGGGGTTTTTAAAAACCCCC")
+	rng := xrand.New(74)
+	var cluster []dna.Seq
+	for i := 0; i < 9; i++ {
+		read := ref.Clone()
+		if i%3 == 0 { // delete one base inside a run
+			p := 2 + rng.Intn(len(read)-4)
+			read = append(read[:p:p], read[p+1:]...)
+		}
+		cluster = append(cluster, read)
+	}
+	for _, algo := range algorithms {
+		got := algo.Reconstruct(cluster, len(ref))
+		if !got.Equal(ref) {
+			t.Errorf("%s: homopolymer cluster reconstructed as %v", algo.Name(), got)
+		}
+	}
+}

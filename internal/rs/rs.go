@@ -1,0 +1,227 @@
+// Package rs implements systematic Reed–Solomon codes over GF(2^8) with
+// correction of both errors and erasures. This is the outer code of the DNA
+// storage architecture (§IV): every row of an encoding unit's matrix is one
+// RS codeword, and molecules lost in the wetlab surface as column erasures.
+//
+// A Code with n total symbols and k data symbols corrects up to (n-k)/2
+// symbol errors, or any mix with e errors and f erasures while 2e+f <= n-k.
+// The implementation is the classical pipeline: syndromes, Forney syndromes
+// to fold in erasures, Berlekamp–Massey for the error locator, Chien search
+// for the positions, and the Forney algorithm for magnitudes.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"dnastore/internal/gf256"
+)
+
+// Code is a Reed–Solomon code with fixed parameters. It is safe for
+// concurrent use: encoding and decoding do not mutate the Code.
+type Code struct {
+	n, k  int
+	genBE []byte // generator polynomial, big-endian (monic, genBE[0] = 1)
+}
+
+// ErrTooManyErrors is returned when a codeword is corrupted beyond the
+// code's correction capability.
+var ErrTooManyErrors = errors.New("rs: too many errors to correct")
+
+// New returns a Reed–Solomon code with n total symbols of which k are data.
+// Requires 0 < k < n <= 255.
+func New(n, k int) (*Code, error) {
+	if k <= 0 || k >= n || n > 255 {
+		return nil, fmt.Errorf("rs: invalid parameters n=%d k=%d (need 0 < k < n <= 255)", n, k)
+	}
+	nsym := n - k
+	// g(x) = Π_{j=0}^{nsym-1} (x - α^j), built in ascending order.
+	gen := gf256.Poly{1}
+	for j := 0; j < nsym; j++ {
+		gen = gf256.MulPoly(gen, gf256.Poly{gf256.Exp(j), 1})
+	}
+	genBE := make([]byte, len(gen))
+	for i, c := range gen {
+		genBE[len(gen)-1-i] = c
+	}
+	return &Code{n: n, k: k, genBE: genBE}, nil
+}
+
+// N returns the codeword length in symbols.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data symbols per codeword.
+func (c *Code) K() int { return c.k }
+
+// Parity returns the number of parity symbols (n - k).
+func (c *Code) Parity() int { return c.n - c.k }
+
+// Encode appends parity to data, returning a systematic codeword of length n.
+// len(data) must equal K().
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("rs: Encode needs %d data bytes, got %d", c.k, len(data))
+	}
+	out := make([]byte, c.n)
+	copy(out, data)
+	// Synthetic division of data(x)·x^nsym by the monic generator; the
+	// remainder left in the tail is the parity.
+	for i := 0; i < c.k; i++ {
+		coef := out[i]
+		if coef == 0 {
+			continue
+		}
+		for j := 1; j < len(c.genBE); j++ {
+			out[i+j] ^= gf256.Mul(c.genBE[j], coef)
+		}
+	}
+	copy(out, data) // the division clobbered the data prefix; restore it
+	return out, nil
+}
+
+// syndromes returns S_j = R(α^j) for j = 0..nsym-1 and whether all are zero.
+func (c *Code) syndromes(cw []byte) ([]byte, bool) {
+	nsym := c.n - c.k
+	synd := make([]byte, nsym)
+	clean := true
+	for j := 0; j < nsym; j++ {
+		x := gf256.Exp(j)
+		var y byte
+		for _, v := range cw {
+			y = gf256.Mul(y, x) ^ v
+		}
+		synd[j] = y
+		if y != 0 {
+			clean = false
+		}
+	}
+	return synd, clean
+}
+
+// Decode corrects a received codeword in a copy and returns the data
+// symbols. erasures lists known-bad codeword indices (0-based); it may be
+// nil. Decode returns ErrTooManyErrors when correction is impossible or the
+// corrected word fails re-validation.
+func (c *Code) Decode(codeword []byte, erasures []int) ([]byte, error) {
+	if len(codeword) != c.n {
+		return nil, fmt.Errorf("rs: Decode needs %d symbols, got %d", c.n, len(codeword))
+	}
+	nsym := c.n - c.k
+	if len(erasures) > nsym {
+		return nil, ErrTooManyErrors
+	}
+	for _, e := range erasures {
+		if e < 0 || e >= c.n {
+			return nil, fmt.Errorf("rs: erasure index %d out of range [0,%d)", e, c.n)
+		}
+	}
+
+	cw := append([]byte(nil), codeword...)
+	synd, clean := c.syndromes(cw)
+	if clean {
+		return cw[:c.k], nil
+	}
+
+	// Erasure locator Λ_e(x) = Π (1 - X x) with X = α^(n-1-i).
+	erasureLoc := gf256.Poly{1}
+	for _, i := range erasures {
+		x := gf256.Exp(c.n - 1 - i)
+		erasureLoc = gf256.MulPoly(erasureLoc, gf256.Poly{1, x})
+	}
+
+	// Forney syndromes: remove the erasure contribution so Berlekamp–Massey
+	// sees errors only. Each erasure consumes one syndrome.
+	fsynd := append([]byte(nil), synd...)
+	for _, i := range erasures {
+		x := gf256.Exp(c.n - 1 - i)
+		for j := 0; j < len(fsynd)-1; j++ {
+			fsynd[j] = gf256.Mul(fsynd[j], x) ^ fsynd[j+1]
+		}
+		fsynd = fsynd[:len(fsynd)-1]
+	}
+
+	errLoc, err := berlekampMassey(fsynd)
+	if err != nil {
+		return nil, err
+	}
+	numErrors := errLoc.Degree()
+	if 2*numErrors > len(fsynd) {
+		return nil, ErrTooManyErrors
+	}
+
+	// Combined errata locator and its roots (Chien search over positions).
+	loc := gf256.MulPoly(errLoc, erasureLoc)
+	positions := make([]int, 0, loc.Degree())
+	for i := 0; i < c.n; i++ {
+		p := c.n - 1 - i
+		if loc.Eval(gf256.Exp(-p)) == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != loc.Degree() {
+		return nil, ErrTooManyErrors
+	}
+
+	// Forney algorithm: Ω(x) = S(x)·Λ(x) mod x^nsym, then for each errata
+	// position with X = α^p the magnitude is Y = X·Ω(X⁻¹)/Λ'(X⁻¹).
+	omega := gf256.MulPoly(gf256.Poly(synd), loc)
+	if len(omega) > nsym {
+		omega = omega[:nsym]
+	}
+	deriv := loc.Deriv()
+	for _, i := range positions {
+		p := c.n - 1 - i
+		xInv := gf256.Exp(-p)
+		den := deriv.Eval(xInv)
+		if den == 0 {
+			return nil, ErrTooManyErrors
+		}
+		y := gf256.Div(gf256.Mul(gf256.Exp(p), omega.Eval(xInv)), den)
+		cw[i] ^= y
+	}
+
+	if _, ok := c.syndromes(cw); !ok {
+		return nil, ErrTooManyErrors
+	}
+	return cw[:c.k], nil
+}
+
+// berlekampMassey finds the minimal error-locator polynomial for the given
+// (Forney) syndromes, in ascending order with constant term 1.
+func berlekampMassey(synd []byte) (gf256.Poly, error) {
+	cPoly := gf256.Poly{1}
+	bPoly := gf256.Poly{1}
+	l, m := 0, 1
+	b := byte(1)
+	for n := 0; n < len(synd); n++ {
+		// Discrepancy d = S_n + Σ_{i=1..l} c_i S_{n-i}.
+		d := synd[n]
+		for i := 1; i <= l && i < len(cPoly); i++ {
+			d ^= gf256.Mul(cPoly[i], synd[n-i])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		scale := gf256.Div(d, b)
+		// c(x) -= (d/b)·x^m·b(x)
+		shifted := make(gf256.Poly, m+len(bPoly))
+		for i, v := range bPoly {
+			shifted[m+i] = gf256.Mul(v, scale)
+		}
+		next := gf256.AddPoly(cPoly, shifted)
+		if 2*l <= n {
+			bPoly = cPoly
+			b = d
+			l = n + 1 - l
+			m = 1
+		} else {
+			m++
+		}
+		cPoly = next
+	}
+	if cPoly.Degree() != l {
+		return nil, ErrTooManyErrors
+	}
+	return cPoly.Trim(), nil
+}

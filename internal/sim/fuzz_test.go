@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+// channelsUnderTest returns every channel at a moderately high severity.
+func channelsUnderTest() []Channel {
+	strands := randStrands(81, 60, 40)
+	profile := TrainProfile(GeneratePairs(82, NewReferenceWetlab(), strands, 2), 12)
+	return []Channel{
+		NewIIDChannel(0.1, 0.1, 0.1),
+		DefaultSOLQC(0.2),
+		NewReferenceWetlab(),
+		profile,
+	}
+}
+
+// TestChannelsProduceValidBases: property test — every channel's output
+// contains only valid bases and never panics, for arbitrary inputs.
+func TestChannelsProduceValidBases(t *testing.T) {
+	for _, ch := range channelsUnderTest() {
+		ch := ch
+		f := func(seed uint64, raw []byte) bool {
+			if len(raw) > 200 {
+				raw = raw[:200]
+			}
+			s := make(dna.Seq, len(raw))
+			for i, b := range raw {
+				s[i] = dna.Base(b & 3)
+			}
+			out := ch.Transmit(xrand.New(seed), s)
+			for _, b := range out {
+				if b > 3 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", ch.Name(), err)
+		}
+	}
+}
+
+// TestChannelsBoundedExpansion: no channel should blow a read up beyond a
+// small multiple of the input length (bursts are geometric, so tails exist,
+// but 3× on a 100-base strand would indicate a runaway loop).
+func TestChannelsBoundedExpansion(t *testing.T) {
+	rng := xrand.New(83)
+	s := dna.Random(rng, 100)
+	for _, ch := range channelsUnderTest() {
+		for i := 0; i < 200; i++ {
+			out := ch.Transmit(rng, s)
+			if len(out) > 3*len(s) {
+				t.Errorf("%s: read grew to %d bases from %d", ch.Name(), len(out), len(s))
+				break
+			}
+		}
+	}
+}
+
+// TestChannelsDoNotMutateInput: the clean strand must be untouched.
+func TestChannelsDoNotMutateInput(t *testing.T) {
+	rng := xrand.New(84)
+	s := dna.Random(rng, 80)
+	snapshot := s.Clone()
+	for _, ch := range channelsUnderTest() {
+		for i := 0; i < 20; i++ {
+			ch.Transmit(rng, s)
+		}
+		if !s.Equal(snapshot) {
+			t.Fatalf("%s mutated the input strand", ch.Name())
+		}
+	}
+}
+
+// TestCalibrationSelfConsistency: the learned profile's generated aggregate
+// rate must track the training rate within 15% after self-calibration.
+func TestCalibrationSelfConsistency(t *testing.T) {
+	ref := NewReferenceWetlab()
+	strands := randStrands(85, 300, 110)
+	train := GeneratePairs(86, ref, strands, 2)
+	model := TrainProfile(train, 24)
+	gen := GeneratePairs(87, model, strands[:150], 2)
+	trainRate := MeasureErrorRate(train)
+	genRate := MeasureErrorRate(gen)
+	if genRate < trainRate*0.85 || genRate > trainRate*1.15 {
+		t.Fatalf("calibrated model rate %v vs training rate %v", genRate, trainRate)
+	}
+}

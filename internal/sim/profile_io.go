@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// profileJSON is the serialized form of a LearnedProfile. Training on a
+// large paired dataset takes time; serializing the fitted model lets a
+// toolkit user train once and ship the simulator with their experiments.
+type profileJSON struct {
+	Version      int           `json:"version"`
+	Buckets      int           `json:"buckets"`
+	PDel         [][4]float64  `json:"p_del"`
+	PSub         [][4]float64  `json:"p_sub"`
+	PIns         [][4]float64  `json:"p_ins"`
+	DelGeom      float64       `json:"del_geom"`
+	InsGeom      float64       `json:"ins_geom"`
+	SubTo        [4][4]float64 `json:"sub_to"`
+	Stutter      float64       `json:"stutter"`
+	QualitySigma float64       `json:"quality_sigma"`
+}
+
+const profileVersion = 1
+
+// MarshalJSON serializes the fitted model.
+func (p *LearnedProfile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(profileJSON{
+		Version:      profileVersion,
+		Buckets:      p.buckets,
+		PDel:         p.pDel,
+		PSub:         p.pSub,
+		PIns:         p.pIns,
+		DelGeom:      p.delGeom,
+		InsGeom:      p.insGeom,
+		SubTo:        p.subTo,
+		Stutter:      p.stutter,
+		QualitySigma: p.qualitySigma,
+	})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (p *LearnedProfile) UnmarshalJSON(data []byte) error {
+	var raw profileJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Version != profileVersion {
+		return fmt.Errorf("sim: unsupported profile version %d", raw.Version)
+	}
+	if raw.Buckets < 0 ||
+		len(raw.PDel) != raw.Buckets || len(raw.PSub) != raw.Buckets || len(raw.PIns) != raw.Buckets {
+		return fmt.Errorf("sim: corrupt profile: %d buckets with %d/%d/%d rate rows",
+			raw.Buckets, len(raw.PDel), len(raw.PSub), len(raw.PIns))
+	}
+	p.buckets = raw.Buckets
+	p.pDel = raw.PDel
+	p.pSub = raw.PSub
+	p.pIns = raw.PIns
+	p.delGeom = raw.DelGeom
+	p.insGeom = raw.InsGeom
+	p.subTo = raw.SubTo
+	p.stutter = raw.Stutter
+	p.qualitySigma = raw.QualitySigma
+	return nil
+}

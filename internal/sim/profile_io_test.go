@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dnastore/internal/xrand"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	ref := NewReferenceWetlab()
+	strands := randStrands(101, 150, 90)
+	model := TrainProfile(GeneratePairs(102, ref, strands, 2), 12)
+
+	blob, err := json.Marshal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored LearnedProfile
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	// The restored model must generate byte-identical reads for the same
+	// RNG stream.
+	a, b := xrand.New(5), xrand.New(5)
+	for i := 0; i < 30; i++ {
+		s := strands[i]
+		if !model.Transmit(a, s).Equal(restored.Transmit(b, s)) {
+			t.Fatalf("restored model diverged on strand %d", i)
+		}
+	}
+	if restored.Buckets() != model.Buckets() {
+		t.Fatal("buckets lost")
+	}
+}
+
+func TestProfileJSONRejectsCorruptInput(t *testing.T) {
+	var p LearnedProfile
+	if err := json.Unmarshal([]byte(`{"version":99}`), &p); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"version":1,"buckets":5,"p_del":[]}`), &p); err == nil {
+		t.Fatal("inconsistent rate tables accepted")
+	}
+	if err := json.Unmarshal([]byte(`{not json`), &p); err == nil {
+		t.Fatal("junk accepted")
+	}
+}

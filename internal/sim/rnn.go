@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"dnastore/internal/dna"
+	"dnastore/internal/nn"
+	"dnastore/internal/xrand"
+)
+
+// RNNSimulator is the paper's §V-B wetlab simulator: a GRU-based
+// sequence-to-sequence model with Bahdanau attention (Fig. 4) that directly
+// models Pr(noisy | clean) and generates reads autoregressively. It is the
+// faithful architectural reproduction; LearnedProfile is the cheaper
+// statistical stand-in used by the headline experiments (see DESIGN.md).
+type RNNSimulator struct {
+	model *nn.Seq2Seq
+	// Temperature used when sampling reads; 1.0 samples the learned
+	// distribution, 0 decodes greedily (deterministic).
+	Temperature float64
+	// MaxLenFactor bounds generated read length to factor·len(clean).
+	MaxLenFactor float64
+}
+
+// RNNConfig sizes and trains an RNNSimulator.
+type RNNConfig struct {
+	Hidden int     // GRU hidden size (paper: 128; tests use ~16)
+	Embed  int     // token embedding size
+	Epochs int     // training epochs over the paired dataset
+	LR     float64 // Adam learning rate
+	Seed   uint64
+}
+
+func toTokens(s dna.Seq) []int {
+	out := make([]int, len(s))
+	for i, b := range s {
+		out[i] = int(b)
+	}
+	return out
+}
+
+func fromTokens(ts []int) dna.Seq {
+	out := make(dna.Seq, 0, len(ts))
+	for _, t := range ts {
+		if t >= 0 && t < 4 {
+			out = append(out, dna.Base(t))
+		}
+	}
+	return out
+}
+
+// TrainRNN fits an RNNSimulator on paired clean/noisy strands and returns it
+// together with the per-epoch training losses (useful for reporting
+// convergence).
+func TrainRNN(pairs []Pair, cfg RNNConfig) (*RNNSimulator, []float64) {
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 32
+	}
+	if cfg.Embed == 0 {
+		cfg.Embed = 8
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 5
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.01
+	}
+	model := nn.NewSeq2Seq(nn.Config{Hidden: cfg.Hidden, Embed: cfg.Embed, Seed: cfg.Seed})
+	trainer := nn.NewTrainer(model, cfg.LR)
+	tokenPairs := make([]nn.TokenPair, 0, len(pairs))
+	for _, p := range pairs {
+		if len(p.Clean) == 0 {
+			continue
+		}
+		tokenPairs = append(tokenPairs, nn.TokenPair{Src: toTokens(p.Clean), Tgt: toTokens(p.Noisy)})
+	}
+	rng := xrand.New(cfg.Seed ^ 0x7121a5e1)
+	losses := make([]float64, 0, cfg.Epochs)
+	for e := 0; e < cfg.Epochs; e++ {
+		losses = append(losses, trainer.Epoch(tokenPairs, rng))
+	}
+	return &RNNSimulator{model: model, Temperature: 1.0, MaxLenFactor: 1.5}, losses
+}
+
+// Name implements Channel.
+func (r *RNNSimulator) Name() string { return "rnn-seq2seq" }
+
+// Transmit implements Channel by sampling one read from the model.
+func (r *RNNSimulator) Transmit(rng *xrand.RNG, strand dna.Seq) dna.Seq {
+	if len(strand) == 0 {
+		return nil
+	}
+	maxLen := int(float64(len(strand)) * r.MaxLenFactor)
+	if maxLen < len(strand)+4 {
+		maxLen = len(strand) + 4
+	}
+	return fromTokens(r.model.Generate(rng, toTokens(strand), maxLen, r.Temperature))
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+// ReferenceWetlab is this reproduction's stand-in for real sequenced data
+// (the paper evaluates against 270K Nanopore reads; see DESIGN.md for the
+// substitution rationale). It deliberately violates every simplifying
+// assumption of the naive models:
+//
+//   - error rates depend on the position within the strand (a ramp that
+//     worsens towards the 3' end, as sequencing quality degrades);
+//   - every read has its own quality factor (log-normal), so errors are
+//     overdispersed across reads;
+//   - deletions and insertions arrive in bursts with geometric lengths;
+//   - substitutions are nucleotide-conditioned and transition-biased;
+//   - inserted bases are often stutters (copies of the previous base).
+//
+// Experiments treat ReferenceWetlab output as ground-truth "real" data:
+// data-driven simulators may train on its paired reads but never inspect
+// its parameters.
+type ReferenceWetlab struct {
+	// BaseRate scales the whole channel; 1.0 gives ≈6–7% per-base edits,
+	// in the range of Nanopore sequencing.
+	BaseRate float64
+	// QualitySigma is the per-read log-normal quality dispersion.
+	QualitySigma float64
+}
+
+// NewReferenceWetlab returns the reference channel at its default severity.
+func NewReferenceWetlab() ReferenceWetlab {
+	return ReferenceWetlab{BaseRate: 1.0, QualitySigma: 0.85}
+}
+
+// Name implements Channel.
+func (c ReferenceWetlab) Name() string { return "reference-wetlab" }
+
+// Transmit implements Channel.
+func (c ReferenceWetlab) Transmit(rng *xrand.RNG, strand dna.Seq) dna.Seq {
+	if len(strand) == 0 {
+		return nil
+	}
+	// Per-read quality factor: most reads are clean-ish, a tail is awful.
+	quality := math.Exp(c.QualitySigma * rng.NormFloat64())
+	scale := c.BaseRate * quality
+
+	// Nucleotide-conditioned base rates (A/T indel-prone).
+	pDel := [4]float64{0.014, 0.008, 0.008, 0.014}
+	pSub := [4]float64{0.011, 0.013, 0.013, 0.011}
+	pIns := [4]float64{0.009, 0.006, 0.006, 0.009}
+	// Transition-biased substitution targets.
+	var subTo [4][4]float64
+	subTo[dna.A] = [4]float64{0, 0.15, 0.70, 0.15}
+	subTo[dna.C] = [4]float64{0.15, 0, 0.15, 0.70}
+	subTo[dna.G] = [4]float64{0.70, 0.15, 0, 0.15}
+	subTo[dna.T] = [4]float64{0.15, 0.70, 0.15, 0}
+
+	n := float64(len(strand))
+	out := make(dna.Seq, 0, len(strand)+8)
+	for i := 0; i < len(strand); i++ {
+		b := strand[i]
+		// Position ramp: the tail of the strand is ~3× noisier than the head.
+		ramp := 0.55 + 1.65*math.Pow(float64(i)/n, 1.6)
+		f := scale * ramp
+
+		// Pre-insertion bursts with stutter bias.
+		if rng.Bool(pIns[b] * f) {
+			burst := rng.Geometric(0.5)
+			for k := 0; k < burst; k++ {
+				if len(out) > 0 && rng.Bool(0.5) {
+					out = append(out, out[len(out)-1]) // stutter
+				} else {
+					out = append(out, dna.Base(rng.Intn(4)))
+				}
+			}
+		}
+		u := rng.Float64()
+		switch {
+		case u < pDel[b]*f:
+			// Burst deletion: remove this and possibly following bases.
+			burst := rng.Geometric(0.5)
+			i += burst - 1
+		case u < (pDel[b]+pSub[b])*f:
+			out = append(out, sampleSub(rng, subTo[b], b))
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
