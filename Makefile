@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench experiments experiments-quick examples clean
+.PHONY: all build test test-short race vet fmt bench experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The race detector pass CI runs: the fault-tolerant runtime's worker pools,
+# cancellation flags and chaos injection are all concurrency-heavy.
+race:
+	$(GO) test -race -short ./...
 
 # Microbenchmarks in every package plus the table/figure reproduction
 # benchmarks at the repository root.

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -378,6 +379,7 @@ func cmdDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	in := fs.String("in", "", "reconstructed strands file")
 	out := fs.String("out", "", "output file")
+	bestEffort := fs.Bool("best-effort", false, "salvage a partial file with a damage map instead of failing on a corrupt header")
 	p := codecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -393,7 +395,7 @@ func cmdDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, report, err := c.DecodeFile(strands)
+	data, report, err := c.DecodeFileContext(context.Background(), strands, codec.DecodeOptions{BestEffort: *bestEffort})
 	if err != nil {
 		return err
 	}
@@ -403,6 +405,9 @@ func cmdDecode(args []string) error {
 	fmt.Printf("decoded %d bytes (%s)\n", len(data), report)
 	if !report.Clean() {
 		fmt.Println("warning: some codewords exceeded the code's correction capability")
+	}
+	if report.Partial {
+		fmt.Printf("warning: partial decode; do not trust units %v\n", report.DamagedUnits())
 	}
 	return nil
 }
@@ -418,6 +423,9 @@ func cmdPipeline(args []string) error {
 	mode := fs.String("mode", "q", "clustering signatures: q or w")
 	algoName := fs.String("algo", "dbma", "reconstruction: bma, dbma, nw")
 	seed := fs.Uint64("seed", 1, "random seed")
+	timeout := fs.Duration("timeout", 0, "per-stage deadline, e.g. 30s (0 = none)")
+	retries := fs.Int("retries", 0, "extra reconstruct+decode attempts with escalated cluster filtering")
+	bestEffort := fs.Bool("best-effort", false, "salvage a partial file with a damage map instead of failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -447,7 +455,11 @@ func cmdPipeline(args []string) error {
 	pipe := core.New(c,
 		sim.Options{Channel: ch, Coverage: sim.FixedCoverage(*coverage), Seed: *seed},
 		clusterOpts, algo)
-	res, err := pipe.Run(data, core.RunOptions{})
+	res, err := pipe.Run(data, core.RunOptions{
+		StageTimeout: *timeout,
+		Retries:      *retries,
+		BestEffort:   *bestEffort,
+	})
 	if err != nil {
 		return err
 	}
@@ -460,6 +472,12 @@ func cmdPipeline(args []string) error {
 	}
 	fmt.Printf("%s: %d bytes → %d strands → %d reads → %d clusters → %d bytes\n",
 		match, len(data), res.Strands, res.Reads, res.Clusters, len(res.Data))
+	if res.Attempts > 1 {
+		fmt.Printf("retries: decode needed %d attempts\n", res.Attempts)
+	}
+	if res.Report.Partial {
+		fmt.Printf("warning: partial recovery; do not trust units %v\n", res.Report.DamagedUnits())
+	}
 	t := res.Times
 	fmt.Printf("latency: encode %v | simulate %v | cluster %v | reconstruct %v | decode %v | total %v\n",
 		t.Encode, t.Simulate, t.Cluster, t.Reconstruct, t.Decode, t.Total())

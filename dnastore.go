@@ -27,6 +27,7 @@
 package dnastore
 
 import (
+	"dnastore/internal/chaos"
 	"dnastore/internal/cluster"
 	"dnastore/internal/codec"
 	"dnastore/internal/core"
@@ -201,6 +202,59 @@ type (
 	StageTimes = core.StageTimes
 	// ReadsSource replays wetlab reads in place of the simulator (§VIII).
 	ReadsSource = core.ReadsSource
+	// Simulator is the pipeline's read-production stage interface.
+	Simulator = core.Simulator
+	// Clusterer is the pipeline's clustering stage interface.
+	Clusterer = core.Clusterer
+	// Reconstructor is the pipeline's consensus stage interface.
+	Reconstructor = core.Reconstructor
+	// ShardedClusterer runs the distributed clustering variant (§VI-A)
+	// inside a pipeline.
+	ShardedClusterer = core.ShardedClusterer
+	// UnitDamage maps the damage inside one encoding unit after decode.
+	UnitDamage = codec.UnitDamage
+	// DecodeOptions tweaks Codec.DecodeFileContext (best-effort salvage).
+	DecodeOptions = codec.DecodeOptions
+)
+
+// Typed sentinel errors of the fault-tolerant runtime, matchable with
+// errors.Is against any error returned through this facade.
+var (
+	// ErrDecode marks every decoder failure (codec package).
+	ErrDecode = codec.ErrDecode
+	// ErrNotConfigured is returned by Pipeline.Run when a module is missing.
+	ErrNotConfigured = core.ErrNotConfigured
+	// ErrCancelled wraps aborts caused by context cancellation or deadlines
+	// (the run context or RunOptions.StageTimeout); the underlying
+	// context.Canceled / context.DeadlineExceeded stays matchable too.
+	ErrCancelled = core.ErrCancelled
+	// ErrStagePanic wraps a panic contained by the pipeline runtime.
+	ErrStagePanic = core.ErrStagePanic
+	// ErrRetriesExhausted wraps the final failure after RunOptions.Retries
+	// escalation attempts all failed.
+	ErrRetriesExhausted = core.ErrRetriesExhausted
+	// ErrNoUsableClusters is returned when MinClusterSize drops everything.
+	ErrNoUsableClusters = core.ErrNoUsableClusters
+)
+
+// Fault injection for resilience testing (internal/chaos).
+type (
+	// ChaosFaults configures deterministic fault injection.
+	ChaosFaults = chaos.Faults
+	// ChaosSimulator wraps a Simulator with injected latency, stage panics,
+	// read drops and read truncation.
+	ChaosSimulator = chaos.Simulator
+	// ChaosClusterer wraps a Clusterer with injected latency and panics.
+	ChaosClusterer = chaos.Clusterer
+	// ChaosReconstructor wraps a Reconstructor with injected latency and
+	// panics.
+	ChaosReconstructor = chaos.Reconstructor
+	// ChaosChannel panics on every Nth transmitted strand, exercising the
+	// simulator worker pool's per-strand salvage path.
+	ChaosChannel = chaos.Channel
+	// ChaosAlgorithm panics on every Nth reconstructed cluster, exercising
+	// the reconstruction worker pool's per-cluster salvage path.
+	ChaosAlgorithm = chaos.Algorithm
 )
 
 // NewPipeline assembles a pipeline with default module adapters.

@@ -1,0 +1,197 @@
+// Package chaos injects seeded, deterministic faults into DNA storage
+// pipeline modules, for driving degradation tests against the fault-tolerant
+// runtime in internal/core. Two granularities are provided:
+//
+//   - Stage wrappers (Simulator, Clusterer, Reconstructor) decorate a whole
+//     pipeline stage with injected latency, whole-stage panics, and — for the
+//     simulator — read drops and read truncation. A stage panic exercises
+//     the orchestrator's panic containment (core.ErrStagePanic).
+//   - Work-item wrappers (Channel, Algorithm) decorate the units the
+//     built-in worker pools iterate over, panicking on every Nth strand or
+//     cluster. These exercise the per-item salvage paths: a panicked strand
+//     degrades to a dropout, a panicked cluster to an erasure, and the outer
+//     Reed–Solomon code absorbs both (§IV).
+//
+// All injection is driven by Faults.Seed and deterministic call counting,
+// so a chaotic run is exactly reproducible.
+package chaos
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/core"
+	"dnastore/internal/dna"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+	"dnastore/internal/xrand"
+)
+
+// Faults configures the injected failure modes. The zero value injects
+// nothing.
+type Faults struct {
+	// Seed drives all randomized fault decisions.
+	Seed uint64
+	// DropRead is the probability that each simulated read is silently
+	// discarded (models strand loss between sequencing and analysis).
+	DropRead float64
+	// TruncateRead is the probability that each surviving read is cut off
+	// at a random interior position (models early sequencing termination).
+	TruncateRead float64
+	// StageLatency is added to every wrapped stage invocation before any
+	// work happens. The injected sleep honours context cancellation, so
+	// deadline tests abort promptly.
+	StageLatency time.Duration
+	// PanicEveryN makes every Nth wrapped invocation panic: stage calls for
+	// the stage wrappers, per-strand transmissions for Channel, per-cluster
+	// consensus calls for Algorithm. 0 never panics.
+	PanicEveryN int
+}
+
+// counter is a concurrency-safe deterministic call counter.
+type counter struct{ n atomic.Int64 }
+
+// tick increments and reports whether this call is an injection point.
+func (c *counter) tick(every int) bool {
+	if every <= 0 {
+		return false
+	}
+	return c.n.Add(1)%int64(every) == 0
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// Simulator wraps a core.Simulator with fault injection: injected stage
+// latency, whole-stage panics, read drops and read truncation. Use a
+// pointer so the call counter is shared across invocations.
+type Simulator struct {
+	Inner  core.Simulator
+	Faults Faults
+	calls  counter
+}
+
+// Simulate implements core.Simulator.
+func (s *Simulator) Simulate(ctx context.Context, strands []dna.Seq) ([]sim.Read, error) {
+	if err := sleepCtx(ctx, s.Faults.StageLatency); err != nil {
+		return nil, err
+	}
+	if s.calls.tick(s.Faults.PanicEveryN) {
+		panic("chaos: injected simulator panic")
+	}
+	reads, err := s.Inner.Simulate(ctx, strands)
+	if err != nil {
+		return nil, err
+	}
+	if s.Faults.DropRead <= 0 && s.Faults.TruncateRead <= 0 {
+		return reads, nil
+	}
+	rng := xrand.Derive(s.Faults.Seed, 0xc4a05)
+	out := make([]sim.Read, 0, len(reads))
+	for _, r := range reads {
+		if rng.Bool(s.Faults.DropRead) {
+			continue
+		}
+		if rng.Bool(s.Faults.TruncateRead) && len(r.Seq) > 1 {
+			r.Seq = r.Seq[:1+rng.Intn(len(r.Seq)-1)]
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Clusterer wraps a core.Clusterer with injected stage latency and
+// whole-stage panics.
+type Clusterer struct {
+	Inner  core.Clusterer
+	Faults Faults
+	calls  counter
+}
+
+// Cluster implements core.Clusterer.
+func (c *Clusterer) Cluster(ctx context.Context, reads []dna.Seq) (cluster.Result, error) {
+	if err := sleepCtx(ctx, c.Faults.StageLatency); err != nil {
+		return cluster.Result{}, err
+	}
+	if c.calls.tick(c.Faults.PanicEveryN) {
+		panic("chaos: injected clusterer panic")
+	}
+	return c.Inner.Cluster(ctx, reads)
+}
+
+// Reconstructor wraps a core.Reconstructor with injected stage latency and
+// whole-stage panics.
+type Reconstructor struct {
+	Inner  core.Reconstructor
+	Faults Faults
+	calls  counter
+}
+
+// ReconstructAll implements core.Reconstructor.
+func (r *Reconstructor) ReconstructAll(ctx context.Context, clusters [][]dna.Seq, targetLen int) ([]dna.Seq, error) {
+	if err := sleepCtx(ctx, r.Faults.StageLatency); err != nil {
+		return nil, err
+	}
+	if r.calls.tick(r.Faults.PanicEveryN) {
+		panic("chaos: injected reconstructor panic")
+	}
+	return r.Inner.ReconstructAll(ctx, clusters, targetLen)
+}
+
+// Name implements core.Reconstructor.
+func (r *Reconstructor) Name() string { return "chaos(" + r.Inner.Name() + ")" }
+
+// Channel wraps a sim.Channel, panicking on every Nth transmitted strand —
+// inside the simulation worker pool, where the per-strand salvage path must
+// contain it as a dropout. Use a pointer so the counter is shared.
+type Channel struct {
+	Inner       sim.Channel
+	PanicEveryN int
+	calls       counter
+}
+
+// Transmit implements sim.Channel.
+func (c *Channel) Transmit(rng *xrand.RNG, strand dna.Seq) dna.Seq {
+	if c.calls.tick(c.PanicEveryN) {
+		panic("chaos: injected channel panic")
+	}
+	return c.Inner.Transmit(rng, strand)
+}
+
+// Name implements sim.Channel.
+func (c *Channel) Name() string { return "chaos(" + c.Inner.Name() + ")" }
+
+// Algorithm wraps a recon.Algorithm, panicking on every Nth reconstructed
+// cluster — inside the reconstruction worker pool, where the per-cluster
+// salvage path must contain it as an erasure. Use a pointer so the counter
+// is shared.
+type Algorithm struct {
+	Inner       recon.Algorithm
+	PanicEveryN int
+	calls       counter
+}
+
+// Reconstruct implements recon.Algorithm.
+func (a *Algorithm) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	if a.calls.tick(a.PanicEveryN) {
+		panic("chaos: injected reconstruction panic")
+	}
+	return a.Inner.Reconstruct(reads, targetLen)
+}
+
+// Name implements recon.Algorithm.
+func (a *Algorithm) Name() string { return "chaos(" + a.Inner.Name() + ")" }

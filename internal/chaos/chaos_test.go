@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/core"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+)
+
+func testCodec(t *testing.T) *codec.Codec {
+	t.Helper()
+	c, err := codec.NewCodec(codec.Params{N: 30, K: 20, PayloadBytes: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// chaoticPipeline assembles a pipeline whose simulator drops and truncates
+// reads, whose channel and reconstruction algorithm panic periodically inside
+// the worker pools, and whose stages all sleep a little.
+func chaoticPipeline(t *testing.T, f Faults) *core.Pipeline {
+	t.Helper()
+	c := testCodec(t)
+	inner := core.PoolSimulator{Options: sim.Options{
+		Channel:  &Channel{Inner: sim.CalibratedIID(0.02), PanicEveryN: 70},
+		Coverage: sim.FixedCoverage(10),
+		Seed:     211,
+	}}
+	return &core.Pipeline{
+		Codec:     c,
+		Simulator: &Simulator{Inner: inner, Faults: f},
+		Clusterer: &Clusterer{Inner: core.OptionsClusterer{Options: cluster.Options{Seed: 223}}, Faults: Faults{StageLatency: f.StageLatency}},
+		Reconstructor: &Reconstructor{
+			Inner:  core.AlgorithmReconstructor{Algorithm: &Algorithm{Inner: recon.NW{}, PanicEveryN: 15}},
+			Faults: Faults{StageLatency: f.StageLatency},
+		},
+	}
+}
+
+func TestChaoticRunSurvives(t *testing.T) {
+	// The acceptance scenario: injected worker-pool panics, read drops, read
+	// truncation and stage latency all at once. Run must complete without
+	// crashing and either recover the file bit-exact or return partial data
+	// whose damage map accurately brackets the corruption.
+	data := bytes.Repeat([]byte("chaos engineering for dna storage! "), 12)
+	p := chaoticPipeline(t, Faults{
+		Seed:         307,
+		DropRead:     0.03,
+		TruncateRead: 0.02,
+		StageLatency: 2 * time.Millisecond,
+	})
+	res, err := p.Run(data, core.RunOptions{Retries: 2, BestEffort: true})
+	if err != nil {
+		t.Fatalf("chaotic run failed outright: %v", err)
+	}
+	if bytes.Equal(res.Data, data) {
+		return // fully recovered despite the chaos: the ideal outcome
+	}
+	// Partial recovery: every corrupted region must be flagged.
+	if !res.Report.Partial {
+		t.Fatalf("data differs but Partial not set: %v", res.Report)
+	}
+	unitBytes := testCodec(t).UnitDataBytes()
+	damaged := map[int]bool{}
+	for _, u := range res.Report.DamagedUnits() {
+		damaged[u] = true
+	}
+	limit := len(data)
+	if len(res.Data) < limit {
+		limit = len(res.Data)
+	}
+	for i := 0; i < limit; i++ {
+		if res.Data[i] != data[i] {
+			if u := (i + 8) / unitBytes; !damaged[u] {
+				t.Fatalf("byte %d (unit %d) corrupt but not in damage map %v", i, u, res.Report.DamagedUnits())
+			}
+		}
+	}
+}
+
+func TestChaosIsDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte("replayable faults"), 10)
+	run := func() (core.Result, error) {
+		p := chaoticPipeline(t, Faults{Seed: 311, DropRead: 0.05, TruncateRead: 0.05})
+		return p.Run(data, core.RunOptions{Retries: 1, BestEffort: true})
+	}
+	a, errA := run()
+	b, errB := run()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("outcomes diverged: %v vs %v", errA, errB)
+	}
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Fatal("identical seeds produced different data")
+	}
+	if a.Report.String() != b.Report.String() {
+		t.Fatalf("identical seeds produced different reports:\n%v\n%v", a.Report, b.Report)
+	}
+}
+
+func TestStagePanicIsContained(t *testing.T) {
+	c := testCodec(t)
+	p := &core.Pipeline{
+		Codec: c,
+		Simulator: &Simulator{
+			Inner:  core.PoolSimulator{Options: sim.Options{Channel: sim.CalibratedIID(0.01), Coverage: sim.FixedCoverage(4), Seed: 1}},
+			Faults: Faults{PanicEveryN: 1},
+		},
+		Clusterer:     core.OptionsClusterer{Options: cluster.Options{Seed: 2}},
+		Reconstructor: core.AlgorithmReconstructor{Algorithm: recon.NW{}},
+	}
+	_, err := p.Run([]byte("boom"), core.RunOptions{})
+	if !errors.Is(err, core.ErrStagePanic) {
+		t.Fatalf("err = %v, want core.ErrStagePanic", err)
+	}
+}
+
+func TestInjectedLatencyTripsStageTimeout(t *testing.T) {
+	c := testCodec(t)
+	p := &core.Pipeline{
+		Codec: c,
+		Simulator: &Simulator{
+			Inner:  core.PoolSimulator{Options: sim.Options{Channel: sim.CalibratedIID(0.01), Coverage: sim.FixedCoverage(4), Seed: 1}},
+			Faults: Faults{StageLatency: 30 * time.Second},
+		},
+		Clusterer:     core.OptionsClusterer{Options: cluster.Options{Seed: 2}},
+		Reconstructor: core.AlgorithmReconstructor{Algorithm: recon.NW{}},
+	}
+	start := time.Now()
+	_, err := p.Run([]byte("slow"), core.RunOptions{StageTimeout: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	if !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("err = %v, want core.ErrCancelled", err)
+	}
+}
+
+func TestDropAndTruncateAreApplied(t *testing.T) {
+	c := testCodec(t)
+	strands, err := c.EncodeFile([]byte("count the reads"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := core.PoolSimulator{Options: sim.Options{Channel: sim.CalibratedIID(0), Coverage: sim.FixedCoverage(10), Seed: 3}}
+	clean, err := inner.Simulate(t.Context(), strands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := (&Simulator{Inner: inner, Faults: Faults{Seed: 5, DropRead: 0.3, TruncateRead: 0.3}}).Simulate(t.Context(), strands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty) >= len(clean) {
+		t.Fatalf("no reads dropped: %d vs %d", len(faulty), len(clean))
+	}
+	truncated := 0
+	for _, r := range faulty {
+		if len(r.Seq) < c.StrandLen() {
+			truncated++
+		}
+	}
+	if truncated == 0 {
+		t.Fatal("no read truncated")
+	}
+}

@@ -18,9 +18,11 @@
 package cluster
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnastore/internal/dna"
@@ -175,8 +177,18 @@ func fnv1a(s string) uint64 {
 
 // Cluster groups reads into clusters of (putatively) common origin.
 func Cluster(reads []dna.Seq, opts Options) Result {
+	res, _ := ClusterContext(context.Background(), reads, opts)
+	return res
+}
+
+// ClusterContext is Cluster with cooperative cancellation: the round loop,
+// the per-partition workers and the straggler sweep all check ctx, and the
+// call returns the context's error (with whatever Stats had accumulated)
+// when it is cancelled or its deadline passes. Results for a completed call
+// are identical to Cluster's.
+func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result, error) {
 	if len(reads) == 0 {
-		return Result{}
+		return Result{}, context.Cause(ctx)
 	}
 	readLen := 0
 	for _, r := range reads {
@@ -202,6 +214,9 @@ func Cluster(reads []dna.Seq, opts Options) Result {
 	}
 
 	for round := 0; round < o.Rounds; round++ {
+		if err := context.Cause(ctx); err != nil {
+			return Result{Stats: stats}, err
+		}
 		// Fresh anchor and grams every round.
 		anchor := dna.Random(rng, o.AnchorLen)
 		grams := newGramSet(xrand.Derive(o.Seed, uint64(round)+1), o.Mode, o.NumGrams, o.GramLen)
@@ -246,7 +261,7 @@ func Cluster(reads []dna.Seq, opts Options) Result {
 		// Signatures for all representatives, in parallel.
 		sigStart := time.Now()
 		sigList := make([][]int32, len(roots))
-		parallelFor(o.Workers, len(roots), func(i int) {
+		parallelForCtx(ctx, o.Workers, len(roots), func(i int) {
 			sigList[i] = grams.signature(reads[reps[roots[i]]])
 		})
 		sigs := make(map[int][]int32, len(roots))
@@ -268,7 +283,7 @@ func Cluster(reads []dna.Seq, opts Options) Result {
 		proposalsPer := make([][]proposal, len(keys))
 		editCalls := make([]int, len(keys))
 		cheap := make([]int, len(keys))
-		parallelFor(o.Workers, len(keys), func(ki int) {
+		parallelForCtx(ctx, o.Workers, len(keys), func(ki int) {
 			key := keys[ki]
 			group := partitions[key]
 			if len(group) < 2 {
@@ -324,12 +339,19 @@ func Cluster(reads []dna.Seq, opts Options) Result {
 		// Each pass draws fresh grams so a straggler whose signature ranked
 		// poorly under one gram set gets an independent second chance.
 		for pass := 0; pass < 4; pass++ {
-			merged := stragglerSweep(reads, uf, o, uint64(pass), &stats)
+			if err := context.Cause(ctx); err != nil {
+				stats.ClusterTime += time.Since(sweepStart)
+				return Result{Stats: stats}, err
+			}
+			merged := stragglerSweep(ctx, reads, uf, o, uint64(pass), &stats)
 			if merged == 0 {
 				break
 			}
 		}
 		stats.ClusterTime += time.Since(sweepStart)
+	}
+	if err := context.Cause(ctx); err != nil {
+		return Result{Stats: stats}, err
 	}
 
 	// Gather final clusters deterministically: order by smallest member.
@@ -343,13 +365,13 @@ func Cluster(reads []dna.Seq, opts Options) Result {
 		out = append(out, ms) // members already ascend (i loop order)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return Result{Clusters: out, Stats: stats}
+	return Result{Clusters: out, Stats: stats}, nil
 }
 
 // stragglerSweep merges small clusters into their nearest cluster when an
 // edit-distance check confirms common origin, and returns the number of
 // merges applied. Edit-distance calls are accumulated into stats.
-func stragglerSweep(reads []dna.Seq, uf *unionFind, o Options, pass uint64, stats *Stats) int {
+func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Options, pass uint64, stats *Stats) int {
 	members := map[int][]int{}
 	var roots []int
 	for i := range reads {
@@ -386,7 +408,7 @@ func stragglerSweep(reads []dna.Seq, uf *unionFind, o Options, pass uint64, stat
 	// error rates where any single representative's signature is mangled.
 	const sweepSigReads = 6
 	meanSigs := make([][]float32, len(roots))
-	parallelFor(o.Workers, len(roots), func(i int) {
+	parallelForCtx(ctx, o.Workers, len(roots), func(i int) {
 		ms := members[roots[i]]
 		n := len(ms)
 		if n > sweepSigReads {
@@ -426,7 +448,7 @@ func stragglerSweep(reads []dna.Seq, uf *unionFind, o Options, pass uint64, stat
 	type merge struct{ a, b int }
 	merges := make([][]merge, len(roots))
 	editCalls := make([]int, len(roots))
-	parallelFor(o.Workers, len(roots), func(i int) {
+	parallelForCtx(ctx, o.Workers, len(roots), func(i int) {
 		if sizes[i] > small {
 			return
 		}
@@ -483,24 +505,44 @@ func stragglerSweep(reads []dna.Seq, uf *unionFind, o Options, pass uint64, stat
 	return applied
 }
 
-// parallelFor runs fn(i) for i in [0,n) across the given number of workers.
-func parallelFor(workers, n int, fn func(i int)) {
+// parallelForCtx runs fn(i) for i in [0,n) across the given number of
+// workers. Workers stop early once ctx is cancelled (already-started items
+// finish; the caller re-checks ctx after the call). A panic inside one item
+// is contained to that item: its outputs stay at their zero values, which
+// every caller treats as "no evidence" (the read simply fails to merge this
+// round), so one poisoned read degrades clustering instead of crashing it.
+func parallelForCtx(ctx context.Context, workers, n int, fn func(i int)) {
+	guarded := func(i int) {
+		defer func() { _ = recover() }()
+		fn(i)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if ctx.Err() != nil {
+				return
+			}
+			guarded(i)
 		}
 		return
 	}
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
-				fn(i)
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				guarded(i)
 			}
 		}(w)
 	}

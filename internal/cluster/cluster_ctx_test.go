@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestClusterContextCancelled(t *testing.T) {
+	reads, _ := makePool(6, 60, 110, 6, 0.03)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ClusterContext(ctx, reads, Options{Seed: 7})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Clusters) != 0 {
+		t.Fatal("cancelled clustering still returned clusters")
+	}
+}
+
+func TestShardedContextCancelled(t *testing.T) {
+	reads, _ := makePool(8, 60, 110, 6, 0.03)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ShardedContext(ctx, reads, 4, Options{Seed: 9}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClusterContextMatchesLegacy(t *testing.T) {
+	reads, _ := makePool(10, 60, 110, 6, 0.03)
+	legacy := Cluster(reads, Options{Seed: 11})
+	ctxed, err := ClusterContext(context.Background(), reads, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Clusters) != len(ctxed.Clusters) {
+		t.Fatalf("cluster counts diverge: %d vs %d", len(legacy.Clusters), len(ctxed.Clusters))
+	}
+	for i := range legacy.Clusters {
+		if len(legacy.Clusters[i]) != len(ctxed.Clusters[i]) {
+			t.Fatalf("cluster %d sizes diverge", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -18,8 +19,19 @@ import (
 // exactly what a multi-machine deployment would use, with the
 // representative exchange as the only communication step.
 func Sharded(reads []dna.Seq, shards int, opts Options) Result {
+	res, _ := ShardedContext(context.Background(), reads, shards, opts)
+	return res
+}
+
+// ShardedContext is Sharded with cooperative cancellation, returning the
+// context's error when the run is cancelled mid-flight. A shard whose
+// clustering panics is salvaged: its reads fall back to singleton clusters,
+// which the representative-level merge round can still attach to surviving
+// shards' clusters — the distributed analogue of treating a failed machine's
+// partial work as lost but its input as recoverable.
+func ShardedContext(ctx context.Context, reads []dna.Seq, shards int, opts Options) (Result, error) {
 	if shards <= 1 || len(reads) < 2*shards {
-		return Cluster(reads, opts)
+		return ClusterContext(ctx, reads, opts)
 	}
 	readLen := 0
 	for _, r := range reads {
@@ -46,14 +58,28 @@ func Sharded(reads []dna.Seq, shards int, opts Options) Result {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					// Salvage the failed shard as singletons; the meta
+					// round gets a chance to re-attach every read.
+					singles := make([][]int, len(shardReads[s]))
+					for i := range singles {
+						singles[i] = []int{i}
+					}
+					shardResults[s] = Result{Clusters: singles}
+				}
+			}()
 			shardOpts := opts
 			shardOpts.Seed = xrand.Derive(o.Seed, uint64(s)).Uint64()
 			// Shards emulate separate machines; each keeps its own workers.
 			shardOpts.Workers = (o.Workers + shards - 1) / shards
-			shardResults[s] = Cluster(shardReads[s], shardOpts)
+			shardResults[s], _ = ClusterContext(ctx, shardReads[s], shardOpts)
 		}(s)
 	}
 	wg.Wait()
+	if err := context.Cause(ctx); err != nil {
+		return Result{}, err
+	}
 
 	// Phase 2: cluster the shard-cluster representatives globally.
 	var reps []dna.Seq
@@ -81,7 +107,10 @@ func Sharded(reads []dna.Seq, shards int, opts Options) Result {
 	}
 	metaOpts := opts
 	metaOpts.Seed = xrand.Derive(o.Seed, 0x5ecd).Uint64()
-	meta := Cluster(reps, metaOpts)
+	meta, err := ClusterContext(ctx, reps, metaOpts)
+	if err != nil {
+		return Result{}, err
+	}
 	stats.EditDistanceCalls += meta.Stats.EditDistanceCalls
 	stats.Merges += meta.Stats.Merges
 	stats.SignatureTime += meta.Stats.SignatureTime
@@ -99,5 +128,5 @@ func Sharded(reads []dna.Seq, shards int, opts Options) Result {
 		out = append(out, merged)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return Result{Clusters: out, Stats: stats}
+	return Result{Clusters: out, Stats: stats}, nil
 }

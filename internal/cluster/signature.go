@@ -110,6 +110,11 @@ const wgramMinOverlap = 4
 // co-present grams to compare. It exceeds any real distance.
 const WGramFar = 997
 
+// sigMissingFar is the distance reported when a signature is missing
+// entirely (computation skipped by cancellation or salvaged after a panic).
+// It exceeds every threshold in either mode.
+const sigMissingFar = 1 << 30
+
 // signature computes the representative's signature. For QGram entries are
 // 0/1 presence flags; for WGram they are first-occurrence positions with
 // wgramAbsent standing in for "absent".
@@ -148,6 +153,11 @@ func (gs gramSet) signature(read dna.Seq) []int32 {
 // §VI-C restricted to grams both reads contain, normalized so the threshold
 // band is independent of how many grams happen to be co-present).
 func (gs gramSet) distance(a, b []int32) int {
+	if a == nil || b == nil {
+		// A missing signature (its computation was skipped or salvaged
+		// after a panic) carries no evidence: never merge on it.
+		return sigMissingFar
+	}
 	d := 0
 	if gs.mode == QGram {
 		for i := range a {
@@ -183,6 +193,9 @@ func (gs gramSet) distance(a, b []int32) int {
 // and the mean presence; WGram: capped position drift against the mean
 // first-occurrence, with one-sided absence penalized.
 func (gs gramSet) meanDistance(sig []int32, mean []float32) float32 {
+	if sig == nil || mean == nil {
+		return sigMissingFar
+	}
 	var d float32
 	if gs.mode == QGram {
 		for i := range sig {

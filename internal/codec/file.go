@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -86,6 +87,17 @@ func (c *Codec) ParseStrand(strand dna.Seq) (uint64, []byte, error) {
 	return idx, payload, nil
 }
 
+// DecodeOptions tweaks DecodeFileContext.
+type DecodeOptions struct {
+	// BestEffort salvages whatever can be recovered instead of failing when
+	// the file cannot be framed normally: a corrupt or implausible header
+	// unit no longer aborts the decode — the file geometry is reconstructed
+	// from the observed molecule indices instead — and the returned bytes
+	// cover every decodable unit, with Report.Units mapping the regions that
+	// must not be trusted and Report.Partial set.
+	BestEffort bool
+}
+
 // DecodeFile reassembles and error-corrects a file from reconstructed
 // strands (any order; duplicates, losses and wrong lengths tolerated up to
 // the code's correction capability). The Report describes the damage seen
@@ -95,10 +107,28 @@ func (c *Codec) ParseStrand(strand dna.Seq) (uint64, []byte, error) {
 // rep.FailedCodewords > 0, which is the behaviour DNAMapper's
 // corruption-tolerant data relies on.
 func (c *Codec) DecodeFile(strands []dna.Seq) ([]byte, Report, error) {
+	return c.DecodeFileContext(context.Background(), strands, DecodeOptions{})
+}
+
+// minPresentColumns is the fraction of a unit's molecules (1/denominator)
+// that must have been observed for the unit to count as real when the file
+// geometry is reconstructed without a trustworthy header (best-effort mode).
+// It keeps a single corrupt index from conjuring phantom trailing units.
+const minPresentColumnsDenom = 4
+
+// DecodeFileContext is DecodeFile with cooperative cancellation (checked
+// between units) and optional best-effort salvage. See DecodeOptions.
+func (c *Codec) DecodeFileContext(ctx context.Context, strands []dna.Seq, opts DecodeOptions) ([]byte, Report, error) {
 	var rep Report
 	rep.Strands = len(strands)
+	if ctx.Err() != nil {
+		return nil, rep, context.Cause(ctx)
+	}
 	byIndex := map[uint64][]byte{}
-	for _, s := range strands {
+	for i, s := range strands {
+		if i&1023 == 1023 && ctx.Err() != nil {
+			return nil, rep, context.Cause(ctx)
+		}
 		idx, payload, err := c.ParseStrand(s)
 		if err != nil {
 			rep.UnparsableStrand++
@@ -120,17 +150,23 @@ func (c *Codec) DecodeFile(strands []dna.Seq) ([]byte, Report, error) {
 	unitBytes := c.UnitDataBytes()
 
 	decodeOne := func(u int) ([]byte, error) {
+		dmg := UnitDamage{Unit: u}
 		columns := make([][]byte, c.p.N)
 		for col := 0; col < c.p.N; col++ {
 			if payload, ok := byIndex[uint64(u*c.p.N+col)]; ok {
 				columns[col] = payload
 			} else {
 				rep.MissingColumns++
+				dmg.MissingColumns++
 			}
 		}
-		unitData, err := c.decodeUnit(columns, &rep)
+		unitData, err := c.decodeUnit(columns, &dmg, &rep)
 		if err != nil {
 			return nil, err
+		}
+		dmg.Salvaged = dmg.FailedCodewords > 0
+		if dmg.MissingColumns > 0 || dmg.BadLengthColumns > 0 || dmg.FailedCodewords > 0 {
+			rep.Units = append(rep.Units, dmg)
 		}
 		if c.p.Mapper != nil {
 			unitData = c.p.Mapper.Unpermute(u, unitData)
@@ -147,11 +183,47 @@ func (c *Codec) DecodeFile(strands []dna.Seq) ([]byte, Report, error) {
 		return nil, rep, err
 	}
 	length := binary.BigEndian.Uint64(first)
-	if length > uint64(len(byIndex))*uint64(unitBytes) {
-		return nil, rep, fmt.Errorf("%w: header claims %d bytes, implausible for %d parsed molecules (corrupt header unit)",
-			ErrDecode, length, len(byIndex))
+	headerOK := length <= uint64(len(byIndex))*uint64(unitBytes)
+	var units int
+	if headerOK {
+		units = (headerBytes + int(length) + unitBytes - 1) / unitBytes
+	} else {
+		if !opts.BestEffort {
+			return nil, rep, fmt.Errorf("%w: header claims %d bytes, implausible for %d parsed molecules (corrupt header unit)",
+				ErrDecode, length, len(byIndex))
+		}
+		// Best effort with an untrustworthy header: reconstruct the file
+		// geometry from the observed indices. Only units for which a
+		// meaningful fraction of molecules actually arrived count, so a
+		// stray corrupt index cannot conjure phantom trailing units.
+		present := map[int]int{}
+		for idx := range byIndex {
+			present[int(idx)/c.p.N]++
+		}
+		for u, n := range present {
+			if n >= (c.p.N+minPresentColumnsDenom-1)/minPresentColumnsDenom && u+1 > units {
+				units = u + 1
+			}
+		}
+		if units == 0 {
+			return nil, rep, fmt.Errorf("%w: corrupt header and no unit has enough molecules to salvage", ErrDecode)
+		}
+		rep.Partial = true
+		// The header's length field is unusable: return every salvaged
+		// byte, flagging unit 0 so the caller knows its bytes (including
+		// the length header) are unverified.
+		length = uint64(units*unitBytes - headerBytes)
+		flagged := false
+		for i := range rep.Units {
+			if rep.Units[i].Unit == 0 {
+				rep.Units[i].Salvaged = true
+				flagged = true
+			}
+		}
+		if !flagged {
+			rep.Units = append([]UnitDamage{{Unit: 0, Salvaged: true}}, rep.Units...)
+		}
 	}
-	units := (headerBytes + int(length) + unitBytes - 1) / unitBytes
 	// Indexes beyond the expected range are strays from corrupt
 	// reconstructions; count them once, now that the range is known.
 	for idx := range byIndex {
@@ -162,6 +234,9 @@ func (c *Codec) DecodeFile(strands []dna.Seq) ([]byte, Report, error) {
 	framed := make([]byte, 0, units*unitBytes)
 	framed = append(framed, first...)
 	for u := 1; u < units; u++ {
+		if ctx.Err() != nil {
+			return nil, rep, context.Cause(ctx)
+		}
 		unitData, err := decodeOne(u)
 		if err != nil {
 			return nil, rep, err
@@ -170,6 +245,9 @@ func (c *Codec) DecodeFile(strands []dna.Seq) ([]byte, Report, error) {
 	}
 	if length > uint64(len(framed)-headerBytes) {
 		return nil, rep, fmt.Errorf("%w: header claims %d bytes but only %d decoded", ErrDecode, length, len(framed)-headerBytes)
+	}
+	if rep.FailedCodewords > 0 {
+		rep.Partial = true
 	}
 	return framed[headerBytes : headerBytes+int(length)], rep, nil
 }

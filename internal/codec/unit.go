@@ -40,9 +40,10 @@ func (c *Codec) encodeUnit(unitData []byte) ([][]byte, error) {
 
 // decodeUnit recovers one unit's data block from its columns. columns[c] is
 // the payload of molecule c, or nil when the molecule was lost (treated as
-// an erasure in every codeword it participates in). The returned data is
+// an erasure in every codeword it participates in). Global damage counters
+// accumulate into rep and per-unit counters into dmg. The returned data is
 // still in layout order; the caller un-permutes it if a Mapper is in use.
-func (c *Codec) decodeUnit(columns [][]byte, rep *Report) ([]byte, error) {
+func (c *Codec) decodeUnit(columns [][]byte, dmg *UnitDamage, rep *Report) ([]byte, error) {
 	rows := c.p.PayloadBytes
 	if len(columns) != c.p.N {
 		return nil, fmt.Errorf("codec: unit has %d columns, want %d", len(columns), c.p.N)
@@ -57,6 +58,7 @@ func (c *Codec) decodeUnit(columns [][]byte, rep *Report) ([]byte, error) {
 			// position: treat the whole molecule as an erasure.
 			erased[col] = true
 			rep.BadLengthColumns++
+			dmg.BadLengthColumns++
 		}
 	}
 	codeword := make([]byte, c.p.N)
@@ -77,6 +79,7 @@ func (c *Codec) decodeUnit(columns [][]byte, rep *Report) ([]byte, error) {
 		data, err := c.code.Decode(codeword, erasures)
 		if err != nil {
 			rep.FailedCodewords++
+			dmg.FailedCodewords++
 			// Best effort: keep the systematic symbols we have so a partial
 			// file still comes back (DNAMapper relies on this behaviour for
 			// corruption-tolerant data).
@@ -101,6 +104,28 @@ func (c *Codec) decodeUnit(columns [][]byte, rep *Report) ([]byte, error) {
 	return unitData, nil
 }
 
+// UnitDamage is one entry of the per-unit damage map: the decode outcome of
+// a single encoding unit. Units that decoded without any missing, damaged or
+// uncorrectable material do not appear in the map.
+type UnitDamage struct {
+	// Unit is the encoding-unit index (unit u spans file bytes
+	// [u·UnitDataBytes, (u+1)·UnitDataBytes) of the framed file).
+	Unit int
+	// MissingColumns counts molecules of this unit never presented.
+	MissingColumns int
+	// BadLengthColumns counts molecules erased for a wrong-length payload.
+	BadLengthColumns int
+	// FailedCodewords counts codewords beyond the correction capability;
+	// their bytes in the output are best-effort and may be wrong.
+	FailedCodewords int
+	// Salvaged is true when the unit's bytes were produced despite failed
+	// codewords (best-effort systematic symbols) or a reconstructed header.
+	Salvaged bool
+}
+
+// Clean reports whether the unit decoded without uncorrectable codewords.
+func (u UnitDamage) Clean() bool { return u.FailedCodewords == 0 }
+
 // Report summarizes a DecodeFile run: how much damage arrived from the
 // pipeline and how much of it the outer code absorbed.
 type Report struct {
@@ -113,14 +138,39 @@ type Report struct {
 	ErasedSymbols    int // codeword symbols recovered via erasure decoding
 	CorrectedSymbols int // codeword symbols corrected as errors
 	FailedCodewords  int // codewords beyond the code's correction capability
+
+	// Units is the per-unit damage map: one entry (in unit order) for every
+	// unit that arrived damaged, whether or not the outer code repaired it.
+	Units []UnitDamage
+	// Partial is true when the returned bytes are best-effort: some units
+	// carry unverified data (failed codewords) or the file geometry itself
+	// had to be reconstructed from observed indices (corrupt header unit).
+	Partial bool
 }
 
 // Clean reports whether the decode recovered everything without any failed
 // codewords.
-func (r Report) Clean() bool { return r.FailedCodewords == 0 }
+func (r Report) Clean() bool { return r.FailedCodewords == 0 && !r.Partial }
+
+// DamagedUnits returns the indices of units whose bytes are unverified
+// (failed codewords), i.e. the regions of the output a caller must not
+// trust. Units the outer code fully repaired are not included.
+func (r Report) DamagedUnits() []int {
+	var out []int
+	for _, u := range r.Units {
+		if !u.Clean() {
+			out = append(out, u.Unit)
+		}
+	}
+	return out
+}
 
 func (r Report) String() string {
-	return fmt.Sprintf("strands=%d unparsable=%d dup=%d stray=%d missing=%d badlen=%d erased=%d corrected=%d failed=%d",
+	s := fmt.Sprintf("strands=%d unparsable=%d dup=%d stray=%d missing=%d badlen=%d erased=%d corrected=%d failed=%d",
 		r.Strands, r.UnparsableStrand, r.DuplicateIndex, r.StrayIndex, r.MissingColumns,
 		r.BadLengthColumns, r.ErasedSymbols, r.CorrectedSymbols, r.FailedCodewords)
+	if r.Partial {
+		s += fmt.Sprintf(" partial=true damaged-units=%v", r.DamagedUnits())
+	}
+	return s
 }

@@ -4,10 +4,18 @@
 // can be swapped for a custom implementation — the paper's central design
 // goal — and the orchestrator reports per-stage latency and quality
 // statistics (the breakdown of Table III).
+//
+// The orchestrator is a fault-tolerant runtime: every stage receives a
+// context.Context with optional per-stage deadlines (cancellation is
+// cooperative — the built-in worker pools check it between work items), a
+// panicking stage surfaces as a typed ErrStagePanic instead of crashing the
+// process, failed decodes can be retried with escalated reconstruction
+// settings, and best-effort mode salvages a partial file with a per-unit
+// damage map rather than returning a bare error. See RunOptions.
 package core
 
 import (
-	"errors"
+	"context"
 	"time"
 
 	"dnastore/internal/cluster"
@@ -19,19 +27,21 @@ import (
 
 // Simulator produces noisy reads from encoded strands. The default wraps
 // sim.SimulatePool; a fastq-backed implementation replaces it with real
-// sequencing data (§VIII).
+// sequencing data (§VIII). Implementations should honour ctx cancellation
+// between units of work and return the context's error when aborted.
 type Simulator interface {
-	Simulate(strands []dna.Seq) []sim.Read
+	Simulate(ctx context.Context, strands []dna.Seq) ([]sim.Read, error)
 }
 
-// Clusterer groups reads by (putative) origin.
+// Clusterer groups reads by (putative) origin, honouring ctx cancellation.
 type Clusterer interface {
-	Cluster(reads []dna.Seq) cluster.Result
+	Cluster(ctx context.Context, reads []dna.Seq) (cluster.Result, error)
 }
 
-// Reconstructor collapses each cluster into a consensus strand.
+// Reconstructor collapses each cluster into a consensus strand, honouring
+// ctx cancellation between clusters.
 type Reconstructor interface {
-	ReconstructAll(clusters [][]dna.Seq, targetLen int) []dna.Seq
+	ReconstructAll(ctx context.Context, clusters [][]dna.Seq, targetLen int) ([]dna.Seq, error)
 	Name() string
 }
 
@@ -41,8 +51,8 @@ type PoolSimulator struct {
 }
 
 // Simulate implements Simulator.
-func (p PoolSimulator) Simulate(strands []dna.Seq) []sim.Read {
-	return sim.SimulatePool(strands, p.Options)
+func (p PoolSimulator) Simulate(ctx context.Context, strands []dna.Seq) ([]sim.Read, error) {
+	return sim.SimulatePoolContext(ctx, strands, p.Options)
 }
 
 // ReadsSource replays pre-existing reads (e.g. preprocessed wetlab FASTQ
@@ -53,12 +63,12 @@ type ReadsSource struct {
 
 // Simulate implements Simulator by ignoring the strands and replaying the
 // stored reads.
-func (r ReadsSource) Simulate([]dna.Seq) []sim.Read {
+func (r ReadsSource) Simulate(context.Context, []dna.Seq) ([]sim.Read, error) {
 	out := make([]sim.Read, len(r.Reads))
 	for i, s := range r.Reads {
 		out[i] = sim.Read{Seq: s, Origin: -1}
 	}
-	return out
+	return out, nil
 }
 
 // OptionsClusterer adapts cluster.Options to the Clusterer interface.
@@ -67,8 +77,22 @@ type OptionsClusterer struct {
 }
 
 // Cluster implements Clusterer.
-func (c OptionsClusterer) Cluster(reads []dna.Seq) cluster.Result {
-	return cluster.Cluster(reads, c.Options)
+func (c OptionsClusterer) Cluster(ctx context.Context, reads []dna.Seq) (cluster.Result, error) {
+	return cluster.ClusterContext(ctx, reads, c.Options)
+}
+
+// ShardedClusterer adapts the distributed clustering variant (§VI-A) to the
+// Clusterer interface: independent shards plus a representative-level merge
+// round. A shard whose clustering panics degrades to singleton clusters
+// instead of failing the stage.
+type ShardedClusterer struct {
+	Options cluster.Options
+	Shards  int
+}
+
+// Cluster implements Clusterer.
+func (c ShardedClusterer) Cluster(ctx context.Context, reads []dna.Seq) (cluster.Result, error) {
+	return cluster.ShardedContext(ctx, reads, c.Shards, c.Options)
 }
 
 // AlgorithmReconstructor adapts a recon.Algorithm to the Reconstructor
@@ -79,8 +103,8 @@ type AlgorithmReconstructor struct {
 }
 
 // ReconstructAll implements Reconstructor.
-func (a AlgorithmReconstructor) ReconstructAll(clusters [][]dna.Seq, targetLen int) []dna.Seq {
-	return recon.ReconstructAll(clusters, targetLen, a.Algorithm, a.Workers)
+func (a AlgorithmReconstructor) ReconstructAll(ctx context.Context, clusters [][]dna.Seq, targetLen int) ([]dna.Seq, error) {
+	return recon.ReconstructAllContext(ctx, clusters, targetLen, a.Algorithm, a.Workers)
 }
 
 // Name implements Reconstructor.
@@ -135,6 +159,9 @@ type Result struct {
 	ClusterStats cluster.Stats
 	// Strands, Reads and Clusters count the intermediate volumes.
 	Strands, Reads, Clusters int
+	// Attempts counts the reconstruct+decode attempts performed (1 unless
+	// RunOptions.Retries escalated a failed decode).
+	Attempts int
 
 	// Intermediates for evaluation (ground truth origins etc.). These are
 	// nil unless KeepIntermediates was set on Run's options.
@@ -155,20 +182,59 @@ type RunOptions struct {
 	// error consumes two parity symbols, an erasure one — §IV). Dropping
 	// starved clusters converts likely errors into erasures. 0 keeps all.
 	MinClusterSize int
+	// StageTimeout bounds each stage invocation (simulate, cluster,
+	// reconstruct, decode) with its own deadline. Enforcement is
+	// cooperative: the built-in worker pools check the deadline between
+	// work items, so an overrunning stage aborts promptly with an error
+	// matching both ErrCancelled and context.DeadlineExceeded. 0 disables.
+	StageTimeout time.Duration
+	// Retries is the number of additional reconstruct+decode attempts after
+	// a failed or corrupt decode. Each retry escalates MinClusterSize (to at
+	// least 2 on the first retry, +1 per further retry), converting likely-
+	// wrong consensus strands from starved clusters into erasures, and
+	// switches to FallbackReconstructor when one is set. Simulation and
+	// clustering are not re-run: retries re-interpret the same sequencing
+	// run. 0 disables retrying.
+	Retries int
+	// FallbackReconstructor replaces the pipeline's Reconstructor on retry
+	// attempts — typically the slower NW/POA consensus as a second opinion
+	// after a fast BMA first pass. Nil keeps the primary reconstructor.
+	FallbackReconstructor Reconstructor
+	// BestEffort salvages a partial file instead of failing: when decode
+	// still fails after all retries, Run returns every recoverable byte
+	// with Report.Partial set and Report.Units mapping the damaged regions,
+	// and a nil error. Callers must consult Result.Report before trusting
+	// the data. Only when nothing at all can be salvaged does Run still
+	// return an error.
+	BestEffort bool
 }
-
-// ErrNotConfigured is returned when a pipeline is missing a module.
-var ErrNotConfigured = errors.New("core: pipeline module not configured")
 
 // Run pushes data through the full pipeline and returns the recovered file
 // with per-stage statistics. A non-nil error means the file could not be
 // recovered at all; partial corruption is reported via Result.Report.
+// Run is RunContext with a background context.
 func (p *Pipeline) Run(data []byte, opts RunOptions) (Result, error) {
+	return p.RunContext(context.Background(), data, opts)
+}
+
+// RunContext is Run under a context: cancelling ctx (or exceeding its
+// deadline) aborts the pipeline promptly with an error matching
+// ErrCancelled, and RunOptions.StageTimeout adds a per-stage deadline on
+// top. A stage that panics on the orchestrator's goroutine is contained and
+// surfaced as ErrStagePanic; panics inside the built-in worker pools are
+// salvaged even closer to the fault (see sim.SimulatePoolContext,
+// recon.ReconstructAllContext and cluster.ClusterContext) and degrade the
+// run instead of failing it.
+func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions) (Result, error) {
 	var res Result
 	if p.Codec == nil || p.Simulator == nil || p.Clusterer == nil || p.Reconstructor == nil {
 		return res, ErrNotConfigured
 	}
 
+	// Encode runs in-process and fast; it only honours pre-cancellation.
+	if ctx.Err() != nil {
+		return res, cancelErr(ctx, "encode")
+	}
 	start := time.Now()
 	strands, err := p.Codec.EncodeFile(data)
 	if err != nil {
@@ -177,25 +243,167 @@ func (p *Pipeline) Run(data []byte, opts RunOptions) (Result, error) {
 	res.Times.Encode = time.Since(start)
 	res.Strands = len(strands)
 
+	var reads []sim.Read
 	start = time.Now()
-	reads := p.Simulator.Simulate(strands)
+	err = runStage(ctx, "simulate", opts.StageTimeout, func(ctx context.Context) error {
+		var serr error
+		reads, serr = p.Simulator.Simulate(ctx, strands)
+		return serr
+	})
 	res.Times.Simulate = time.Since(start)
+	if err != nil {
+		return res, err
+	}
 	res.Reads = len(reads)
 
 	seqs := make([]dna.Seq, len(reads))
 	for i, r := range reads {
 		seqs[i] = r.Seq
 	}
+	var clu cluster.Result
 	start = time.Now()
-	clu := p.Clusterer.Cluster(seqs)
+	err = runStage(ctx, "cluster", opts.StageTimeout, func(ctx context.Context) error {
+		var cerr error
+		clu, cerr = p.Clusterer.Cluster(ctx, seqs)
+		return cerr
+	})
 	res.Times.Cluster = time.Since(start)
+	if err != nil {
+		return res, err
+	}
 	res.Clusters = len(clu.Clusters)
 	res.ClusterStats = clu.Stats
 
-	clusterSeqs := make([][]dna.Seq, 0, len(clu.Clusters))
-	keptClusters := make([][]int, 0, len(clu.Clusters))
-	for _, members := range clu.Clusters {
-		if len(members) < opts.MinClusterSize {
+	if opts.KeepIntermediates {
+		res.EncodedStrands = strands
+		res.SimReads = reads
+	}
+
+	// Reconstruct+decode attempt loop with escalation (see RunOptions).
+	// Reconstruct and Decode times accumulate across attempts.
+	var firstRecons []dna.Seq
+	var lastErr error
+	bestFailed := -1 // fewest failed codewords among data-producing attempts
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		res.Attempts = attempt + 1
+		minSize, reconstructor := escalation(attempt, opts, p.Reconstructor)
+		clusterSeqs, keptClusters := filterClusters(seqs, clu.Clusters, minSize)
+		if len(clusterSeqs) == 0 {
+			// Escalation only drops more clusters; give up immediately with
+			// an accurate report: every expected molecule is missing.
+			res.Report = codec.Report{MissingColumns: res.Strands}
+			return res, noUsableClustersErr(minSize, len(clu.Clusters))
+		}
+		var recons []dna.Seq
+		start = time.Now()
+		err = runStage(ctx, "reconstruct", opts.StageTimeout, func(ctx context.Context) error {
+			var rerr error
+			recons, rerr = reconstructor.ReconstructAll(ctx, clusterSeqs, p.Codec.StrandLen())
+			return rerr
+		})
+		res.Times.Reconstruct += time.Since(start)
+		if err != nil {
+			return res, err // cancellation or stage panic aborts the run
+		}
+		if attempt == 0 {
+			firstRecons = recons
+		}
+
+		var out []byte
+		var report codec.Report
+		start = time.Now()
+		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
+			var derr error
+			out, report, derr = p.Codec.DecodeFileContext(ctx, recons, codec.DecodeOptions{})
+			return derr
+		})
+		res.Times.Decode += time.Since(start)
+		if err == nil && report.FailedCodewords == 0 {
+			// Fully recovered (modulo repaired damage): done.
+			res.Data, res.Report = out, report
+			if opts.KeepIntermediates {
+				res.ClusterSets, res.Reconstructed = keptClusters, recons
+			}
+			return res, nil
+		}
+		if err != nil && isAbort(err) {
+			return res, err
+		}
+		if err == nil && (bestFailed < 0 || report.FailedCodewords < bestFailed) {
+			// Data came back but some codewords are beyond repair; keep the
+			// least-damaged attempt in case no retry does better.
+			bestFailed = report.FailedCodewords
+			res.Data, res.Report = out, report
+			if opts.KeepIntermediates {
+				res.ClusterSets, res.Reconstructed = keptClusters, recons
+			}
+		}
+		if err != nil {
+			// DecodeFileContext populates its report even on failure; keep
+			// the last one so a failed Run still explains what it saw.
+			if bestFailed < 0 {
+				res.Report = report
+			}
+			lastErr = err
+		}
+	}
+
+	if bestFailed >= 0 {
+		// Legacy best-effort-by-default behaviour: data with failed
+		// codewords is returned without an error; Report flags the damage.
+		return res, nil
+	}
+	if opts.BestEffort {
+		// Every attempt failed outright: salvage whatever the first
+		// (least filtered) reconstruction allows, with the damage map.
+		var out []byte
+		var report codec.Report
+		start = time.Now()
+		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
+			var derr error
+			out, report, derr = p.Codec.DecodeFileContext(ctx, firstRecons, codec.DecodeOptions{BestEffort: true})
+			return derr
+		})
+		res.Times.Decode += time.Since(start)
+		if err == nil {
+			res.Data, res.Report = out, report
+			return res, nil
+		}
+		if isAbort(err) {
+			return res, err
+		}
+		lastErr = err
+	}
+	if opts.Retries > 0 {
+		return res, retriesExhaustedErr(res.Attempts, lastErr)
+	}
+	return res, lastErr
+}
+
+// escalation returns the cluster-size floor and reconstructor for the given
+// 0-based attempt, per the RunOptions.Retries policy.
+func escalation(attempt int, opts RunOptions, primary Reconstructor) (int, Reconstructor) {
+	if attempt == 0 {
+		return opts.MinClusterSize, primary
+	}
+	minSize := opts.MinClusterSize
+	if minSize < 2 {
+		minSize = 2
+	}
+	minSize += attempt - 1
+	rec := primary
+	if opts.FallbackReconstructor != nil {
+		rec = opts.FallbackReconstructor
+	}
+	return minSize, rec
+}
+
+// filterClusters materializes the clusters with at least minSize reads.
+func filterClusters(seqs []dna.Seq, clusters [][]int, minSize int) ([][]dna.Seq, [][]int) {
+	clusterSeqs := make([][]dna.Seq, 0, len(clusters))
+	kept := make([][]int, 0, len(clusters))
+	for _, members := range clusters {
+		if len(members) < minSize {
 			continue
 		}
 		cs := make([]dna.Seq, len(members))
@@ -203,25 +411,9 @@ func (p *Pipeline) Run(data []byte, opts RunOptions) (Result, error) {
 			cs[j] = seqs[m]
 		}
 		clusterSeqs = append(clusterSeqs, cs)
-		keptClusters = append(keptClusters, members)
+		kept = append(kept, members)
 	}
-	start = time.Now()
-	recons := p.Reconstructor.ReconstructAll(clusterSeqs, p.Codec.StrandLen())
-	res.Times.Reconstruct = time.Since(start)
-
-	start = time.Now()
-	out, report, err := p.Codec.DecodeFile(recons)
-	res.Times.Decode = time.Since(start)
-	res.Report = report
-	res.Data = out
-
-	if opts.KeepIntermediates {
-		res.EncodedStrands = strands
-		res.SimReads = reads
-		res.ClusterSets = keptClusters
-		res.Reconstructed = recons
-	}
-	return res, err
+	return clusterSeqs, kept
 }
 
 // Evaluation scores a pipeline run against its own ground truth.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"dnastore/internal/cluster"
@@ -210,14 +211,14 @@ func TestModuleSwappability(t *testing.T) {
 
 type firstReadReconstructor struct{}
 
-func (firstReadReconstructor) ReconstructAll(clusters [][]dna.Seq, targetLen int) []dna.Seq {
+func (firstReadReconstructor) ReconstructAll(_ context.Context, clusters [][]dna.Seq, targetLen int) ([]dna.Seq, error) {
 	out := make([]dna.Seq, len(clusters))
 	for i, c := range clusters {
 		if len(c) > 0 {
 			out[i] = c[0]
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (firstReadReconstructor) Name() string { return "first-read" }

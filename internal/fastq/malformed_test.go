@@ -1,0 +1,90 @@
+package fastq
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTruncationAtEveryPosition cuts a valid two-record file after each
+// line: truncation inside a record must error, truncation on a record
+// boundary must keep the complete records.
+func TestParseTruncationAtEveryPosition(t *testing.T) {
+	lines := []string{"@r1", "ACGT", "+", "IIII", "@r2", "GGCC", "+", "FFFF"}
+	for cut := 0; cut <= len(lines); cut++ {
+		in := strings.Join(lines[:cut], "\n")
+		if cut > 0 {
+			in += "\n"
+		}
+		recs, err := Parse(strings.NewReader(in))
+		switch {
+		case cut%4 == 0:
+			if err != nil {
+				t.Errorf("cut %d: complete records rejected: %v", cut, err)
+			} else if len(recs) != cut/4 {
+				t.Errorf("cut %d: got %d records, want %d", cut, len(recs), cut/4)
+			}
+		default:
+			if err == nil {
+				t.Errorf("cut %d: truncated record parsed without error", cut)
+			}
+		}
+	}
+}
+
+func TestParseQualityLengthMismatch(t *testing.T) {
+	for _, in := range []string{
+		"@r\nACGT\n+\nIII\n",   // quality too short
+		"@r\nACGT\n+\nIIIII\n", // quality too long
+		"@r\nACGT\n+\n\n",      // quality line present but empty... then EOF
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%q parsed without error", in)
+		}
+	}
+}
+
+func TestParseEmptyVariants(t *testing.T) {
+	for _, in := range []string{"", "\n", "\n\n\n", "   \n\t\n"} {
+		recs, err := Parse(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("%q: blank-only input rejected: %v", in, err)
+		}
+		if len(recs) != 0 {
+			t.Errorf("%q: conjured %d records", in, len(recs))
+		}
+	}
+}
+
+func TestParseErrorNamesLineNumber(t *testing.T) {
+	_, err := Parse(strings.NewReader("@ok\nAC\n+\nII\nbad-header\nAC\n+\nII\n"))
+	if err == nil {
+		t.Fatal("bad header parsed")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error does not name the offending line: %v", err)
+	}
+}
+
+func TestFilterByQualityEdges(t *testing.T) {
+	if kept, dropped := FilterByQuality(nil, 10); kept != nil || dropped != 0 {
+		t.Fatalf("empty input: kept=%v dropped=%d", kept, dropped)
+	}
+	recs := []Record{
+		{ID: "empty-quality", Seq: "", Quality: ""},       // MeanPhred 0
+		{ID: "boundary", Seq: "AC", Quality: "++"},        // '+' = Phred 10 exactly
+		{ID: "below", Seq: "AC", Quality: "**"},           // Phred 9
+		{ID: "high", Seq: "ACGT", Quality: "IIII"},        // Phred 40
+		{ID: "sub-phred", Seq: "AC", Quality: "\x1f\x1f"}, // below '!': clamps to 0
+	}
+	kept, dropped := FilterByQuality(recs, 10)
+	if len(kept) != 2 || dropped != 3 {
+		t.Fatalf("kept=%d dropped=%d", len(kept), dropped)
+	}
+	if kept[0].ID != "boundary" || kept[1].ID != "high" {
+		t.Fatalf("kept %v", []string{kept[0].ID, kept[1].ID})
+	}
+	// Threshold 0 keeps everything, including the empty-quality record.
+	if kept, dropped := FilterByQuality(recs, 0); len(kept) != len(recs) || dropped != 0 {
+		t.Fatalf("threshold 0: kept=%d dropped=%d", len(kept), dropped)
+	}
+}

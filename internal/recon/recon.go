@@ -19,8 +19,10 @@
 package recon
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dnastore/internal/align"
 	"dnastore/internal/dna"
@@ -235,27 +237,64 @@ func ConsensusWithConfidence(reads []dna.Seq, targetLen int) (dna.Seq, float64) 
 
 // ReconstructAll reconstructs every cluster in parallel and returns one
 // consensus strand per cluster, in cluster order. Empty clusters yield nil.
-// workers <= 0 uses GOMAXPROCS.
+// workers <= 0 uses GOMAXPROCS; zero clusters and workers exceeding the
+// cluster count are both fine (the pool is clamped to the work available).
 func ReconstructAll(clusters [][]dna.Seq, targetLen int, algo Algorithm, workers int) []dna.Seq {
+	out, _ := ReconstructAllContext(context.Background(), clusters, targetLen, algo, workers)
+	return out
+}
+
+// ReconstructAllContext is ReconstructAll with cooperative cancellation:
+// workers check ctx between clusters and the call returns the context's
+// error when it is cancelled. An Algorithm that panics on one cluster loses
+// only that cluster's consensus (nil, which the decoder treats as an
+// erasure); the panic never escapes the worker pool.
+func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen int, algo Algorithm, workers int) ([]dna.Seq, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]dna.Seq, len(clusters))
-	var wg sync.WaitGroup
+	if len(clusters) == 0 {
+		return out, context.Cause(ctx)
+	}
 	if workers > len(clusters) {
 		workers = len(clusters)
 	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(clusters); i += workers {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
 				if len(clusters[i]) > 0 {
-					out[i] = algo.Reconstruct(clusters[i], targetLen)
+					out[i] = reconstructOne(algo, clusters[i], targetLen)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	return out
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// reconstructOne guards a single consensus computation: a panicking
+// Algorithm yields a nil consensus (an erasure for the outer code, §IV)
+// instead of crashing the process.
+func reconstructOne(algo Algorithm, cluster []dna.Seq, targetLen int) (out dna.Seq) {
+	defer func() {
+		if recover() != nil {
+			out = nil
+		}
+	}()
+	return algo.Reconstruct(cluster, targetLen)
 }

@@ -1,0 +1,71 @@
+package recon
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dnastore/internal/dna"
+)
+
+func TestReconstructAllZeroClusters(t *testing.T) {
+	out, err := ReconstructAllContext(context.Background(), nil, 20, NW{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || len(out) != 0 {
+		t.Fatalf("out = %v, want empty non-nil slice", out)
+	}
+}
+
+func TestReconstructAllMoreWorkersThanClusters(t *testing.T) {
+	s := dna.MustFromString("ACGTACGTACGT")
+	clusters := [][]dna.Seq{{s, s, s}, {s, s}}
+	out, err := ReconstructAllContext(context.Background(), clusters, len(s), NW{}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || !out[0].Equal(s) || !out[1].Equal(s) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestReconstructAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := dna.MustFromString("ACGTACGTACGT")
+	clusters := make([][]dna.Seq, 128)
+	for i := range clusters {
+		clusters[i] = []dna.Seq{s, s}
+	}
+	if _, err := ReconstructAllContext(ctx, clusters, len(s), NW{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// bombAlgo panics on clusters of the victim size and otherwise delegates.
+type bombAlgo struct{ victimSize int }
+
+func (b bombAlgo) Name() string { return "bomb" }
+
+func (b bombAlgo) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	if len(reads) == b.victimSize {
+		panic("bomb")
+	}
+	return NW{}.Reconstruct(reads, targetLen)
+}
+
+func TestPanickingAlgorithmSalvagedAsErasure(t *testing.T) {
+	s := dna.MustFromString("ACGTACGTACGT")
+	clusters := [][]dna.Seq{{s, s}, {s, s, s}, {s, s}}
+	out, err := ReconstructAllContext(context.Background(), clusters, len(s), bombAlgo{victimSize: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1] != nil {
+		t.Fatal("panicking cluster produced a consensus")
+	}
+	if !out[0].Equal(s) || !out[2].Equal(s) {
+		t.Fatal("healthy clusters were damaged by the panic next door")
+	}
+}

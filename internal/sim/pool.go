@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dnastore/internal/dna"
 	"dnastore/internal/edit"
@@ -69,14 +72,31 @@ type Options struct {
 	KeepOrder bool
 }
 
+// ErrNoChannel is returned (or panicked, by the legacy SimulatePool entry
+// point) when Options.Channel is missing.
+var ErrNoChannel = errors.New("sim: Options.Channel is required")
+
 // SimulatePool pushes every strand through synthesis/storage/sequencing:
 // each strand is replicated per the coverage model and every copy passes
 // through the noise channel independently. Strands are processed in
 // parallel with per-strand derived RNG streams, so results are deterministic
 // regardless of GOMAXPROCS.
 func SimulatePool(strands []dna.Seq, opts Options) []Read {
+	reads, err := SimulatePoolContext(context.Background(), strands, opts)
+	if err != nil {
+		panic(err) // only ErrNoChannel is reachable with a background context
+	}
+	return reads
+}
+
+// SimulatePoolContext is SimulatePool with cooperative cancellation: workers
+// check ctx between strands and the call returns the context's error when it
+// is cancelled or its deadline passes. A Channel that panics on one strand
+// loses only that strand's reads (the pipeline sees it as a dropout → column
+// erasure); the panic never escapes the worker pool.
+func SimulatePoolContext(ctx context.Context, strands []dna.Seq, opts Options) ([]Read, error) {
 	if opts.Channel == nil {
-		panic("sim: Options.Channel is required")
+		return nil, ErrNoChannel
 	}
 	cov := opts.Coverage
 	if cov == nil {
@@ -84,26 +104,28 @@ func SimulatePool(strands []dna.Seq, opts Options) []Read {
 	}
 	perStrand := make([][]Read, len(strands))
 	workers := runtime.GOMAXPROCS(0)
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(strands); i += workers {
-				rng := xrand.Derive(opts.Seed, uint64(i))
-				if rng.Bool(opts.Dropout) {
-					continue
+				if stop.Load() {
+					return
 				}
-				n := cov.Copies(rng)
-				reads := make([]Read, 0, n)
-				for c := 0; c < n; c++ {
-					reads = append(reads, Read{Seq: opts.Channel.Transmit(rng, strands[i]), Origin: i})
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
 				}
-				perStrand[i] = reads
+				perStrand[i] = simulateStrand(strands[i], i, cov, opts)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
 	var out []Read
 	for _, reads := range perStrand {
 		out = append(out, reads...)
@@ -112,7 +134,28 @@ func SimulatePool(strands []dna.Seq, opts Options) []Read {
 		rng := xrand.Derive(opts.Seed, ^uint64(0))
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	}
-	return out
+	return out, nil
+}
+
+// simulateStrand replicates one strand through the channel. A panic inside
+// the coverage model or channel salvages the strand as a total dropout
+// instead of killing the whole pool.
+func simulateStrand(strand dna.Seq, i int, cov CoverageModel, opts Options) (reads []Read) {
+	defer func() {
+		if recover() != nil {
+			reads = nil
+		}
+	}()
+	rng := xrand.Derive(opts.Seed, uint64(i))
+	if rng.Bool(opts.Dropout) {
+		return nil
+	}
+	n := cov.Copies(rng)
+	reads = make([]Read, 0, n)
+	for c := 0; c < n; c++ {
+		reads = append(reads, Read{Seq: opts.Channel.Transmit(rng, strand), Origin: i})
+	}
+	return reads
 }
 
 // Sequences strips ground-truth origins, returning just the read sequences.

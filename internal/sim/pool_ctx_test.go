@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+func ctxTestStrands(n int) []dna.Seq {
+	out := make([]dna.Seq, n)
+	for i := range out {
+		out[i] = dna.MustFromString("ACGTACGTACGTACGTACGT")
+	}
+	return out
+}
+
+func TestSimulatePoolContextNoChannel(t *testing.T) {
+	if _, err := SimulatePoolContext(context.Background(), ctxTestStrands(2), Options{}); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("err = %v, want ErrNoChannel", err)
+	}
+}
+
+func TestSimulatePoolContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Channel: CalibratedIID(0.01), Coverage: FixedCoverage(5), Seed: 9}
+	if _, err := SimulatePoolContext(ctx, ctxTestStrands(64), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// strandBombChannel panics whenever it transmits the victim strand.
+type strandBombChannel struct {
+	inner  Channel
+	victim dna.Seq
+}
+
+func (c strandBombChannel) Name() string { return "strand-bomb" }
+
+func (c strandBombChannel) Transmit(rng *xrand.RNG, strand dna.Seq) dna.Seq {
+	if strand.Equal(c.victim) {
+		panic("bomb")
+	}
+	return c.inner.Transmit(rng, strand)
+}
+
+func TestPanickingChannelSalvagedAsDropout(t *testing.T) {
+	strands := ctxTestStrands(8)
+	strands[3] = dna.MustFromString("TTTTTTTTTTTTTTTTTTTT")
+	ch := strandBombChannel{inner: CalibratedIID(0), victim: strands[3]}
+	reads, err := SimulatePoolContext(context.Background(), strands, Options{
+		Channel: ch, Coverage: FixedCoverage(4), Seed: 11, KeepOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 7*4 {
+		t.Fatalf("got %d reads, want %d (victim strand dropped, others intact)", len(reads), 7*4)
+	}
+	for _, r := range reads {
+		if r.Origin == 3 {
+			t.Fatal("reads of the panicking strand leaked out")
+		}
+	}
+}
