@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt bench experiments experiments-quick examples clean
+.PHONY: all build test test-short race vet fmt lint fuzz-smoke bench experiments experiments-quick examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,23 @@ test-short:
 # cancellation flags and chaos injection are all concurrency-heavy.
 race:
 	$(GO) test -race -short ./...
+
+# The repository's own invariant analyzer (cmd/dnalint): determinism,
+# context flow, panic boundaries, error flow and seed flow. Exits non-zero
+# on findings; suppress intentional sites with
+# //dnalint:allow <analyzer> -- <reason>.
+lint:
+	$(GO) run ./cmd/dnalint ./...
+
+# Short native-fuzzing pass over the codec pipeline's four fuzz targets
+# (30 s each); CI runs this as a smoke test, local fuzzing can go longer
+# with e.g. `go test ./internal/rs -fuzz FuzzRSDecode -fuzztime 10m`.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/rs -run '^$$' -fuzz '^FuzzRSDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeFile$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fastq -run '^$$' -fuzz '^FuzzFastqParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/edit -run '^$$' -fuzz '^FuzzLevenshtein$$' -fuzztime $(FUZZTIME)
 
 # Microbenchmarks in every package plus the table/figure reproduction
 # benchmarks at the repository root.

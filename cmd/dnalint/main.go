@@ -1,0 +1,97 @@
+// Command dnalint runs the toolkit's invariant analyzers (see
+// internal/analysis) over the whole module and exits non-zero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/dnalint ./...          # analyze every package
+//	go run ./cmd/dnalint -list          # list analyzers
+//	go run ./cmd/dnalint -only ctxflow,errflow ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 load/type-check failure. Findings are
+// reported as file:line:col: analyzer: message, and can be suppressed per
+// line with
+//
+//	//dnalint:allow <analyzer>[,<analyzer>...] -- <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dnastore/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	chdir := flag.String("C", "", "analyze the module containing this directory (default: current directory)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "dnalint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	// Package patterns are accepted for familiarity but the analyzer always
+	// covers the whole module: invariants are cross-cutting by nature.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "all" {
+			fmt.Fprintf(os.Stderr, "dnalint: only the ./... pattern is supported (got %q); analyzing the whole module\n", arg)
+		}
+	}
+
+	dir := *chdir
+	if dir == "" {
+		var err error
+		dir, err = os.Getwd()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnalint:", err)
+			return 2
+		}
+	}
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnalint:", err)
+		return 2
+	}
+
+	diags, err := analysis.RunModule(root, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnalint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dnalint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

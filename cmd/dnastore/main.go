@@ -97,7 +97,7 @@ func readSeqLines(path string) ([]dna.Seq, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //dnalint:allow errflow -- read-only file: a close error cannot lose data
 	var out []dna.Seq
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -115,12 +115,18 @@ func readSeqLines(path string) ([]dna.Seq, error) {
 	return out, sc.Err()
 }
 
-func writeSeqLines(path string, seqs []dna.Seq) error {
+func writeSeqLines(path string, seqs []dna.Seq) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// A failed close can drop buffered writes; surface it unless an
+		// earlier error already explains the failure.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriter(f)
 	for _, s := range seqs {
 		if _, err := fmt.Fprintln(w, s.String()); err != nil {
@@ -232,7 +238,6 @@ func cmdCluster(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	for i, members := range res.Clusters {
 		if i > 0 {
@@ -243,6 +248,10 @@ func cmdCluster(args []string) error {
 		}
 	}
 	if err := w.Flush(); err != nil {
+		f.Close() //dnalint:allow errflow -- flush already failed; the close error cannot add information
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	st := res.Stats
@@ -275,7 +284,7 @@ func cmdPreprocess(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //dnalint:allow errflow -- read-only file: a close error cannot lose data
 	records, err := fastq.Parse(f)
 	if err != nil {
 		return err
@@ -295,7 +304,7 @@ func readClusters(path string) ([][]dna.Seq, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //dnalint:allow errflow -- read-only file: a close error cannot lose data
 	var clusters [][]dna.Seq
 	var current []dna.Seq
 	sc := bufio.NewScanner(f)

@@ -33,9 +33,12 @@ func writeCSV(dir, name string, rows [][]string) {
 		fmt.Fprintln(os.Stderr, "csv:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	w := csv.NewWriter(f)
 	if err := w.WriteAll(rows); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "csv:", err)
 		os.Exit(1)
 	}

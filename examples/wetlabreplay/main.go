@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //dnalint:allow errflow -- best-effort temp-dir cleanup on exit
 	path := filepath.Join(dir, "run.fastq")
 	f, err := os.Create(path)
 	if err != nil {
@@ -81,7 +81,9 @@ func main() {
 	if err := dnastore.WriteFASTQ(f, records); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sequencer output: %s (%d reads)\n", path, len(records))
 
 	// Wetlab-data path: parse, orient, trim.
@@ -90,7 +92,7 @@ func main() {
 		log.Fatal(err)
 	}
 	parsed, err := dnastore.ParseFASTQ(f)
-	f.Close()
+	f.Close() //dnalint:allow errflow -- read-only file: a close error cannot lose data
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow protects the PR-1 cancellation plumbing: a function that accepts a
+// context.Context must actually wire it up. Two rules:
+//
+//  1. A named, non-blank ctx parameter must be referenced somewhere in the
+//     body (passed down, polled, or rewrapped). Declaring the parameter `_`
+//     (or leaving it unnamed) is the explicit way to say the function
+//     completes too quickly to need cancellation.
+//  2. Every outermost loop that performs real work (contains at least one
+//     non-builtin, non-conversion call) must reference some context value —
+//     poll ctx.Err()/ctx.Done(), or call through a ctx-taking helper. Pure
+//     computation loops (indexing, arithmetic, builtins only) are exempt:
+//     they finish fast and cannot block cancellation for long.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions accepting a context.Context must pass it down or poll it inside their loops",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		eachFunc(f, func(node ast.Node, ftype *ast.FuncType, body *ast.BlockStmt) {
+			ctxObj := contextParam(pass.Info, ftype)
+			if ctxObj == nil {
+				return
+			}
+			if !referencesObject(pass.Info, body, ctxObj) {
+				pass.Reportf(ftype.Pos(), "%s accepts %s but never uses it; pass it down, poll it, or name the parameter _",
+					funcScopeName(node), ctxObj.Name())
+				return
+			}
+			checkLoops(pass, node, body, ctxObj)
+		})
+	}
+}
+
+// contextParam returns the object of the first named, non-blank parameter of
+// type context.Context, or nil.
+func contextParam(info *types.Info, ftype *ast.FuncType) types.Object {
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// referencesObject reports whether any identifier under n resolves to obj.
+func referencesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkLoops enforces rule 2 on the outermost loops of body. Nested loops
+// are covered by their outermost ancestor: if any context value is consulted
+// anywhere inside the outer loop, each iteration passes a cancellation
+// point, which is the invariant the runtime needs.
+func checkLoops(pass *Pass, node ast.Node, body *ast.BlockStmt, ctxObj types.Object) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if x == nil || x == n {
+				return true
+			}
+			switch loop := x.(type) {
+			case *ast.FuncLit:
+				// A nested literal is its own function: it is checked
+				// separately if it declares a ctx parameter. Loops inside it
+				// do not belong to this function's cancellation contract.
+				return false
+			case *ast.ForStmt:
+				if !inLoop {
+					checkOneLoop(pass, loop, loop.Body)
+				}
+				walkLoopBody(walk, loop.Body)
+				return false
+			case *ast.RangeStmt:
+				if !inLoop {
+					checkOneLoop(pass, loop, loop.Body)
+				}
+				walkLoopBody(walk, loop.Body)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// walkLoopBody continues the traversal below a loop with inLoop=true so only
+// outermost loops are checked.
+func walkLoopBody(walk func(ast.Node, bool), body *ast.BlockStmt) {
+	walk(body, true)
+}
+
+// checkOneLoop reports the loop unless it is compute-only or consults a
+// context value somewhere in its body (including nested closures, which is
+// how worker pools poll).
+func checkOneLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt) {
+	works := false
+	seesCtx := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isSignificantCall(pass.Info, x) {
+				works = true
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil && isContextType(obj.Type()) {
+				seesCtx = true
+			}
+		}
+		return true
+	})
+	if works && !seesCtx {
+		pass.Reportf(loop.Pos(), "loop does real work but never consults the context; poll ctx.Err() or pass ctx into the loop body")
+	}
+}

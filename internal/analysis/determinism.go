@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// determinismScope lists the packages whose outputs must be bit-identical
+// for a given seed: the whole codec/simulation/clustering data path plus the
+// orchestrator. The paper averages every experiment over repeated runs, and
+// the related simulator survey (Doshi et al.) singles out reproducibility as
+// the property that separates usable simulators — so these packages may not
+// consult ambient randomness or wall-clock time, and may not let Go's
+// randomized map iteration order leak into ordered output.
+var determinismScope = scopeOf(
+	"dnastore/internal/dna",
+	"dnastore/internal/codec",
+	"dnastore/internal/rs",
+	"dnastore/internal/gf256",
+	"dnastore/internal/edit",
+	"dnastore/internal/align",
+	"dnastore/internal/cluster",
+	"dnastore/internal/recon",
+	"dnastore/internal/sim",
+	"dnastore/internal/xrand",
+	"dnastore/internal/core",
+)
+
+// Determinism forbids the three ways nondeterminism sneaks into a seeded
+// pipeline: importing math/rand (ambient global RNG), calling time.Now
+// (wall-clock values in outputs), and ranging over a map while appending to
+// a slice that is never sorted afterwards (iteration-order leakage).
+var Determinism = &Analyzer{
+	Name:    "determinism",
+	Doc:     "forbid math/rand, time.Now and unsorted map-order leakage in the seeded data path",
+	Applies: determinismScope,
+	Run:     runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: seeded modules must use dnastore/internal/xrand with an explicit seed", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleeFullName(pass.Info, call) == "time.Now" {
+				pass.Reportf(call.Pos(), "call to time.Now: wall-clock values make seeded runs irreproducible")
+			}
+			return true
+		})
+		checkMapOrderLeaks(pass, f)
+	}
+}
+
+// checkMapOrderLeaks flags `for k := range m { s = append(s, ...) }` where m
+// is a map and s is declared outside the loop, unless the enclosing function
+// later hands s to the sort package: appending in map order produces a
+// different slice order on every run.
+func checkMapOrderLeaks(pass *Pass, f *ast.File) {
+	eachFunc(f, func(node ast.Node, _ *ast.FuncType, body *ast.BlockStmt) {
+		sorted := sortedObjects(pass.Info, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != node {
+				return false // literals get their own eachFunc visit
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(inner ast.Node) bool {
+				assign, ok := inner.(*ast.AssignStmt)
+				if !ok || len(assign.Rhs) != 1 {
+					return true
+				}
+				call, ok := assign.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if tv, ok := pass.Info.Types[ast.Unparen(call.Fun)]; !ok || !tv.IsBuiltin() {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+					return true
+				}
+				target, ok := assign.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[target]
+				if obj == nil {
+					obj = pass.Info.Defs[target]
+				}
+				if obj == nil || sorted[obj] {
+					return true
+				}
+				// The append target must be declared outside the range body
+				// for the order to escape the loop.
+				if rng.Body.Pos() <= obj.Pos() && obj.Pos() <= rng.Body.End() {
+					return true
+				}
+				pass.Reportf(assign.Pos(),
+					"append to %s inside range over map: iteration order is random; sort the result or collect keys first", target.Name)
+				return true
+			})
+			return true
+		})
+	})
+}
+
+// sortedObjects collects the objects that appear as an argument to any
+// sort.* call within the function body — slices that are explicitly sorted
+// after collection are deterministic regardless of map iteration order.
+func sortedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil {
+				if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an allow directive. The full syntax is
+//
+//	//dnalint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// and the directive suppresses matching findings on its own line and on the
+// line directly below (so it can trail the offending statement or sit on the
+// line above it). The reason after " -- " is mandatory.
+const directivePrefix = "//dnalint:"
+
+// allowKey identifies one suppressed (file, line, analyzer) cell.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowSet is the suppression table built from a package's directives.
+type allowSet map[allowKey]bool
+
+// collectDirectives scans the package's comments for dnalint directives and
+// returns the suppression table plus diagnostics for malformed directives
+// (unknown verb, unknown analyzer name, or a missing reason). Directive
+// diagnostics are attributed to the pseudo-analyzer "directive" and cannot
+// themselves be suppressed.
+func collectDirectives(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	allow := allowSet{}
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "directive",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				body, ok := strings.CutPrefix(rest, "allow ")
+				if !ok {
+					bad(c.Pos(), "malformed directive %q: want //dnalint:allow <analyzers> -- <reason>", c.Text)
+					continue
+				}
+				names, reason, ok := strings.Cut(body, " -- ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					bad(c.Pos(), "directive is missing its reason: every suppression must say why (\"... -- <reason>\")")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if ByName(name) == nil {
+						bad(c.Pos(), "directive names unknown analyzer %q", name)
+						continue
+					}
+					allow[allowKey{pos.Filename, pos.Line, name}] = true
+					allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return allow, diags
+}
+
+// filter drops diagnostics covered by the suppression table.
+func (a allowSet) filter(diags []Diagnostic) []Diagnostic {
+	if len(a) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !a[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

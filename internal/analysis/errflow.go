@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrFlow forbids silently discarded errors in non-test code: a call whose
+// error result is dropped turns decode corruption, I/O failure or
+// cancellation into undefined behaviour three stages later. Two forms are
+// flagged:
+//
+//   - a call used as a statement (or deferred) whose results include error;
+//   - an assignment that funnels an error result into the blank identifier.
+//
+// Printing to stdout/stderr via the fmt print family is exempt (their errors
+// are write errors on standard streams, conventionally ignored), as are
+// methods on strings.Builder and bytes.Buffer, which are documented to never
+// return a non-nil error.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "no discarded error returns outside tests",
+	Run:  runErrFlow,
+}
+
+// errflowExempt lists fully-qualified callees whose error results may be
+// ignored by convention.
+var errflowExempt = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+// errflowExemptRecv lists receiver types whose methods never return a
+// non-nil error (per their documentation).
+var errflowExemptRecv = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+	"bytes.Buffer":     true,
+}
+
+func runErrFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, stmt.Call, "deferred ")
+			case *ast.AssignStmt:
+				checkBlankError(pass, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall reports a statement-position call whose results include
+// an error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, kind string) {
+	if isErrflowExempt(pass.Info, call) {
+		return
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return
+	}
+	if !resultsIncludeError(tv.Type) {
+		return
+	}
+	name := calleeFullName(pass.Info, call)
+	if name == "" {
+		name = "call"
+	}
+	pass.Reportf(call.Pos(), "%sresult of %s includes an error that is silently dropped", kind, name)
+}
+
+// checkBlankError reports error results assigned to the blank identifier.
+func checkBlankError(pass *Pass, assign *ast.AssignStmt) {
+	// Tuple form: x, _ := f().
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || isErrflowExempt(pass.Info, call) {
+			return
+		}
+		tuple, ok := pass.Info.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= tuple.Len() {
+				break
+			}
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				name := calleeFullName(pass.Info, call)
+				if name == "" {
+					name = "the call"
+				}
+				pass.Reportf(lhs.Pos(), "error returned by %s is discarded with _; handle it or suppress with a reasoned directive", name)
+			}
+		}
+		return
+	}
+	// Positional form: _ = expr (possibly several).
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) || i >= len(assign.Rhs) {
+			continue
+		}
+		tv, ok := pass.Info.Types[assign.Rhs[i]]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, ok := assign.Rhs[i].(*ast.CallExpr); ok && isErrflowExempt(pass.Info, call) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error value is discarded with _; handle it or suppress with a reasoned directive")
+	}
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// resultsIncludeError reports whether a call's result type is error or a
+// tuple containing an error.
+func resultsIncludeError(t types.Type) bool {
+	if isErrorType(t) {
+		return true
+	}
+	tuple, ok := t.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i := 0; i < tuple.Len(); i++ {
+		if isErrorType(tuple.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrflowExempt reports whether the callee is on the conventional ignore
+// list.
+func isErrflowExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if errflowExempt[full] {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if errflowExemptRecv[sig.Recv().Type().String()] {
+			return true
+		}
+	}
+	return false
+}

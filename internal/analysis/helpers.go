@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// scopeOf builds an Applies predicate matching the given import paths.
+// Paths are matched exactly, so "dnastore/internal/sim" does not cover a
+// hypothetical "dnastore/internal/simx".
+func scopeOf(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}
+
+// calleeFunc resolves the called function object of a call expression, or
+// nil when the callee is not a declared function/method (e.g. a conversion,
+// a builtin, or a function-typed variable).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeFullName returns the fully-qualified name of the called declared
+// function ("time.Now", "(*bufio.Writer).Flush"), or "".
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	if f := calleeFunc(info, call); f != nil {
+		return f.FullName()
+	}
+	return ""
+}
+
+// isSignificantCall reports whether the call does real work: declared
+// functions, methods and function-valued expressions count; builtins
+// (append, len, copy, ...) and type conversions do not.
+func isSignificantCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok {
+		if tv.IsType() { // conversion
+			return false
+		}
+		if tv.IsBuiltin() {
+			return false
+		}
+	}
+	return true
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// rootIdent returns the leftmost identifier of an expression chain
+// (x, x.f, x[i].f, (x), ...) or nil.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcScopeName describes a function declaration or literal for messages.
+func funcScopeName(n ast.Node) string {
+	if d, ok := n.(*ast.FuncDecl); ok {
+		return d.Name.Name
+	}
+	return "function literal"
+}
+
+// eachFunc visits every function declaration and literal in the file,
+// calling fn with the function node and its body. Literals nested inside a
+// declaration are visited separately (after their enclosing function).
+func eachFunc(f *ast.File, fn func(node ast.Node, ftype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Type, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Type, d.Body)
+		}
+		return true
+	})
+}
+
+// pkgLast returns the final element of an import path.
+func pkgLast(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// panicBoundaryScope lists the packages that run worker pools: a panic that
+// escapes a goroutine kills the whole process, which would void the PR-1
+// guarantee that one poisoned strand degrades to a dropout, one poisoned
+// cluster to an erasure, and one panicking stage to a typed ErrStagePanic.
+var panicBoundaryScope = scopeOf(
+	"dnastore/internal/sim",
+	"dnastore/internal/cluster",
+	"dnastore/internal/recon",
+	"dnastore/internal/core",
+)
+
+// PanicBoundary requires every `go func` literal in the worker-pool packages
+// to install a recover handler before doing anything else: the goroutine
+// body must contain a `defer func() { ... recover() ... }()` of its own.
+// Calling a helper that recovers deeper in the call chain is not enough —
+// the boundary that must not leak is the goroutine itself.
+var PanicBoundary = &Analyzer{
+	Name:    "panicboundary",
+	Doc:     "goroutine literals in worker-pool packages must defer a recover handler",
+	Applies: panicBoundaryScope,
+	Run:     runPanicBoundary,
+}
+
+func runPanicBoundary(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasRecoverDefer(pass, lit.Body) {
+				pass.Reportf(g.Pos(), "goroutine has no recover handler; a panic here kills the process instead of degrading the work item")
+			}
+			return true
+		})
+	}
+}
+
+// hasRecoverDefer reports whether the goroutine body defers a function
+// literal that calls recover. Defers nested inside further closures do not
+// count — they guard the inner function, not this goroutine.
+func hasRecoverDefer(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if x.Body != body {
+				return false
+			}
+		case *ast.DeferStmt:
+			lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit)
+			if ok && callsRecover(pass, lit.Body) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsRecover reports whether the handler body calls the recover builtin.
+func callsRecover(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+			if tv, ok := pass.Info.Types[id]; ok && tv.IsBuiltin() {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow guards the reproducibility contract of internal/xrand: every RNG
+// must be derivable from an explicit, caller-supplied seed, so that two runs
+// with the same seed replay bit-identically and two runs with different
+// seeds are independent. Three violations are flagged in internal packages:
+//
+//   - xrand.New / xrand.Derive seeded with a compile-time constant — the
+//     "random" stream is then identical in every call site and every run,
+//     silently correlating samples that the experiments assume independent;
+//   - a seed expression rooted in a package-level variable — hidden global
+//     state that re-seeds differently depending on call order;
+//   - a package-level *xrand.RNG variable — one shared stream consumed from
+//     arbitrary goroutines is both racy and irreproducible.
+//
+// Mixing a constant into a caller-supplied seed (cfg.Seed ^ 0x5eed) is fine:
+// the expression is not constant. Top-level binaries and examples are the
+// callers that *supply* seeds, so the rule applies to internal/ only.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "xrand constructors must be reachable only from an explicit caller-supplied seed",
+	Applies: func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, "dnastore/internal/")
+	},
+	Run: runSeedFlow,
+}
+
+// xrandConstructors are the seed-consuming entry points of internal/xrand.
+var xrandConstructors = map[string]bool{
+	"dnastore/internal/xrand.New":    true,
+	"dnastore/internal/xrand.Derive": true,
+}
+
+func runSeedFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		checkPackageLevelRNGs(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !xrandConstructors[fn.FullName()] || len(call.Args) == 0 {
+				return true
+			}
+			seed := call.Args[0]
+			if tv, ok := pass.Info.Types[seed]; ok && tv.Value != nil {
+				pass.Reportf(seed.Pos(),
+					"%s seeded with a compile-time constant: the stream repeats identically across runs and call sites; thread a caller-supplied seed instead",
+					fn.Name())
+				return true
+			}
+			if v := packageLevelVarIn(pass, seed); v != nil {
+				pass.Reportf(seed.Pos(),
+					"%s seed is derived from package-level variable %s: seeds must flow from the caller, not from global state",
+					fn.Name(), v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkPackageLevelRNGs flags package-level variables of type *xrand.RNG (or
+// xrand.RNG): a shared global stream breaks run-to-run reproducibility.
+func checkPackageLevelRNGs(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil || obj.Parent() != pass.Pkg.Scope() {
+					continue
+				}
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+				if isXrandRNG(obj.Type()) {
+					pass.Reportf(name.Pos(),
+						"package-level RNG %s: a shared global stream is racy and irreproducible; construct RNGs from explicit seeds at the call site",
+						name.Name)
+				}
+			}
+		}
+	}
+}
+
+// packageLevelVarIn returns the first package-level variable referenced by
+// the seed expression, or nil.
+func packageLevelVarIn(pass *Pass, expr ast.Expr) *types.Var {
+	var found *types.Var
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			found = v
+		}
+		return true
+	})
+	return found
+}
+
+// isXrandRNG reports whether t is xrand.RNG or *xrand.RNG.
+func isXrandRNG(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "dnastore/internal/xrand" && obj.Name() == "RNG"
+}

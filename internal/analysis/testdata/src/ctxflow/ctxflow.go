@@ -1,0 +1,65 @@
+// Package ctxflow exercises the ctxflow analyzer: an accepted context must
+// be referenced, and loops doing real work must consult a context value.
+// Blank parameters opt out; compute-only loops are exempt.
+package ctxflow
+
+import (
+	"context"
+	"fmt"
+)
+
+func work(x int) int { return x * x }
+
+func unused(ctx context.Context, items []int) { // want "unused accepts ctx but never uses it"
+	for _, it := range items {
+		fmt.Println(work(it))
+	}
+}
+
+func optOut(_ context.Context, items []int) {
+	for _, it := range items {
+		fmt.Println(work(it))
+	}
+}
+
+func pollsInLoop(ctx context.Context, items []int) error {
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fmt.Println(work(it))
+	}
+	return nil
+}
+
+func busyLoop(ctx context.Context, items []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, it := range items { // want "loop does real work but never consults the context"
+		fmt.Println(work(it))
+	}
+	return nil
+}
+
+func computeOnly(ctx context.Context, items []int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	total := 0
+	for _, it := range items {
+		total += it * it
+	}
+	return total
+}
+
+func closurePoll(ctx context.Context, items []int) {
+	for _, it := range items {
+		func() {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Println(work(it))
+		}()
+	}
+}

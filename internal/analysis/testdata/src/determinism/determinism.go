@@ -1,0 +1,38 @@
+// Package determinism exercises the determinism analyzer: ambient
+// randomness, wall-clock reads and map-iteration-order leakage are flagged;
+// time.Since, sorted collections and reasoned directives are not.
+package determinism
+
+import (
+	"math/rand" // want "import of math/rand: seeded modules must use dnastore/internal/xrand"
+	"sort"
+	"time"
+)
+
+func ambient() int { return rand.Int() }
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "call to time.Now: wall-clock values make seeded runs irreproducible"
+}
+
+func allowedWallClock() time.Duration {
+	start := time.Now() //dnalint:allow determinism -- golden test: telemetry only, the value never reaches an output
+	return time.Since(start)
+}
+
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map: iteration order is random"
+	}
+	return keys
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

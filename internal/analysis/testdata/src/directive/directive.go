@@ -1,0 +1,40 @@
+// Package directive exercises the directive parser itself: well-formed
+// directives suppress on their own and the following line, while unknown
+// verbs, unknown analyzer names and missing reasons are findings of the
+// unsuppressable pseudo-analyzer "directive".
+package directive
+
+import "errors"
+
+func mk() error { return errors.New("x") }
+
+func suppressedTrailing() {
+	_ = mk() //dnalint:allow errflow -- golden test: same-line suppression
+}
+
+func suppressedLineAbove() {
+	//dnalint:allow errflow -- golden test: suppression from the line above
+	_ = mk()
+}
+
+func notSuppressedTwoBelow() {
+	//dnalint:allow errflow -- golden test: the directive reaches only one line down
+	x := 0
+	_ = x
+	_ = mk() // want "error value is discarded with _"
+}
+
+func unknownVerb() {
+	//dnalint:deny errflow -- no such verb // want "malformed directive"
+	_ = mk() // want "error value is discarded with _"
+}
+
+func unknownAnalyzer() {
+	//dnalint:allow nosuchcheck -- reason present // want "unknown analyzer"
+	_ = mk() // want "error value is discarded with _"
+}
+
+func missingReason() {
+	//dnalint:allow errflow // want "missing its reason"
+	_ = mk() // want "error value is discarded with _"
+}

@@ -1,0 +1,59 @@
+// Package errflow exercises the errflow analyzer: statement-position and
+// deferred calls whose results include an error, and blank-discarded
+// errors, are flagged; the fmt print family, strings.Builder methods and
+// reasoned directives are not.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mk() error { return errors.New("boom") }
+
+func mk2() (int, error) { return 0, errors.New("boom") }
+
+func dropStmt() {
+	mk() // want "includes an error that is silently dropped"
+}
+
+func dropDefer() {
+	defer mk() // want "deferred result of"
+}
+
+func blankTuple() int {
+	v, _ := mk2() // want "is discarded with _"
+	return v
+}
+
+func blankAssign() {
+	_ = mk() // want "error value is discarded with _"
+}
+
+func handled() error {
+	if err := mk(); err != nil {
+		return err
+	}
+	v, err := mk2()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+func exemptPrintFamily() {
+	fmt.Println("standard-stream writes are conventionally unchecked")
+	fmt.Printf("%d\n", 42)
+}
+
+func exemptBuilder() string {
+	var b strings.Builder
+	b.WriteString("never fails per its documentation")
+	return b.String()
+}
+
+func allowedDrop() {
+	_ = mk() //dnalint:allow errflow -- golden test: the drop is the behaviour under test
+}

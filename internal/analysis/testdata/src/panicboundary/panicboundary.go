@@ -1,0 +1,66 @@
+// Package panicboundary exercises the panicboundary analyzer: goroutine
+// literals in worker-pool packages must defer their own recover handler;
+// recovery buried in a helper or a nested closure does not count.
+package panicboundary
+
+import "sync"
+
+func guarded(items []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(items))
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { _ = recover() }()
+			out[i] = items[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func unguarded(items []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(items))
+	for i := range items {
+		wg.Add(1)
+		go func(i int) { // want "goroutine has no recover handler"
+			defer wg.Done()
+			out[i] = items[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func helperRecoveryNotEnough(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // want "goroutine has no recover handler"
+			defer wg.Done()
+			recoverInHelper()
+		}()
+	}
+	wg.Wait()
+}
+
+func nestedClosureNotEnough(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // want "goroutine has no recover handler"
+			defer wg.Done()
+			inner := func() {
+				defer func() { _ = recover() }()
+			}
+			inner()
+		}()
+	}
+	wg.Wait()
+}
+
+func recoverInHelper() {
+	defer func() { _ = recover() }()
+}

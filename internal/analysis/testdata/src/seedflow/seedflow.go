@@ -1,0 +1,38 @@
+// Package seedflow exercises the seedflow analyzer: constant seeds,
+// seeds rooted in package-level variables and package-level RNGs are
+// flagged; caller-supplied seeds (including constant-mixed ones) are not.
+package seedflow
+
+import "dnastore/internal/xrand"
+
+var globalSeed uint64 = 42
+
+var sharedRNG *xrand.RNG // want "package-level RNG sharedRNG"
+
+func constSeed() *xrand.RNG {
+	return xrand.New(7) // want "New seeded with a compile-time constant"
+}
+
+func constDerive() *xrand.RNG {
+	return xrand.Derive(1, 2) // want "Derive seeded with a compile-time constant"
+}
+
+func constExpr() *xrand.RNG {
+	return xrand.New(21 * 2) // want "New seeded with a compile-time constant"
+}
+
+func fromGlobal() *xrand.RNG {
+	return xrand.New(globalSeed) // want "seed is derived from package-level variable globalSeed"
+}
+
+func fromCaller(seed uint64) *xrand.RNG {
+	return xrand.New(seed)
+}
+
+func mixedWithConstant(seed uint64) *xrand.RNG {
+	return xrand.New(seed ^ 0x5eed)
+}
+
+func derivedStream(seed uint64, i int) *xrand.RNG {
+	return xrand.Derive(seed, uint64(i))
+}

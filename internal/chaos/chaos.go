@@ -102,7 +102,10 @@ func (s *Simulator) Simulate(ctx context.Context, strands []dna.Seq) ([]sim.Read
 	}
 	rng := xrand.Derive(s.Faults.Seed, 0xc4a05)
 	out := make([]sim.Read, 0, len(reads))
-	for _, r := range reads {
+	for i, r := range reads {
+		if i&0xfff == 0 && ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		if rng.Bool(s.Faults.DropRead) {
 			continue
 		}

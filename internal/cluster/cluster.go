@@ -177,6 +177,7 @@ func fnv1a(s string) uint64 {
 
 // Cluster groups reads into clusters of (putatively) common origin.
 func Cluster(reads []dna.Seq, opts Options) Result {
+	//dnalint:allow errflow -- background context never cancels, the only error ClusterContext can return
 	res, _ := ClusterContext(context.Background(), reads, opts)
 	return res
 }
@@ -259,7 +260,7 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		}
 
 		// Signatures for all representatives, in parallel.
-		sigStart := time.Now()
+		sigStart := time.Now() //dnalint:allow determinism -- Stats timing telemetry; never feeds a clustering decision
 		sigList := make([][]int32, len(roots))
 		parallelForCtx(ctx, o.Workers, len(roots), func(i int) {
 			sigList[i] = grams.signature(reads[reps[roots[i]]])
@@ -273,7 +274,7 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		// Phase 1 (parallel, deterministic): each partition independently
 		// proposes merges. Edit-distance decisions do not consult the
 		// union-find, so the proposal set is a pure function of the seed.
-		partStart := time.Now()
+		partStart := time.Now() //dnalint:allow determinism -- Stats timing telemetry; never feeds a clustering decision
 		keys := make([]string, 0, len(partitions))
 		for k := range partitions {
 			keys = append(keys, k)
@@ -332,7 +333,7 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 	}
 
 	if !o.NoStragglerSweep {
-		sweepStart := time.Now()
+		sweepStart := time.Now() //dnalint:allow determinism -- Stats timing telemetry; never feeds a clustering decision
 		// Iterate to a fixpoint (bounded): early passes merge singletons
 		// into fragments; as the median cluster size grows, later passes
 		// recognize mid-size fragments as stragglers and attach them too.
@@ -357,6 +358,11 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 	// Gather final clusters deterministically: order by smallest member.
 	groups := map[int][]int{}
 	for i := range reads {
+		if i&0xfff == 0 {
+			if err := context.Cause(ctx); err != nil {
+				return Result{Stats: stats}, err
+			}
+		}
 		root := uf.find(i)
 		groups[root] = append(groups[root], i)
 	}
@@ -375,6 +381,9 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 	members := map[int][]int{}
 	var roots []int
 	for i := range reads {
+		if i&0xfff == 0 && ctx.Err() != nil {
+			return 0 // no merges: the caller's fixpoint loop stops and re-checks ctx
+		}
 		root := uf.find(i)
 		if _, seen := members[root]; !seen {
 			roots = append(roots, root)
@@ -493,6 +502,7 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 		}
 	})
 	applied := 0
+	//dnalint:allow ctxflow -- serial apply of already-computed merges: O(clusters) pointer swaps, no blocking calls
 	for i := range merges {
 		stats.EditDistanceCalls += editCalls[i]
 		for _, m := range merges[i] {
@@ -534,6 +544,11 @@ func parallelForCtx(ctx context.Context, workers, n int, fn func(i int)) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Worker-level backstop: guarded() already contains per-item
+			// panics, but the dispatch loop itself must not be able to kill
+			// the process — the worker's remaining items stay at their zero
+			// values, which callers treat as "no evidence".
+			defer func() { _ = recover() }()
 			for i := w; i < n; i += workers {
 				if stop.Load() {
 					return

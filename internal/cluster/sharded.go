@@ -19,6 +19,7 @@ import (
 // exactly what a multi-machine deployment would use, with the
 // representative exchange as the only communication step.
 func Sharded(reads []dna.Seq, shards int, opts Options) Result {
+	//dnalint:allow errflow -- background context never cancels, the only error ShardedContext can return
 	res, _ := ShardedContext(context.Background(), reads, shards, opts)
 	return res
 }
@@ -73,6 +74,7 @@ func ShardedContext(ctx context.Context, reads []dna.Seq, shards int, opts Optio
 			shardOpts.Seed = xrand.Derive(o.Seed, uint64(s)).Uint64()
 			// Shards emulate separate machines; each keeps its own workers.
 			shardOpts.Workers = (o.Workers + shards - 1) / shards
+			//dnalint:allow errflow -- cancellation is re-checked via context.Cause after wg.Wait; a cancelled shard's partial result is discarded there
 			shardResults[s], _ = ClusterContext(ctx, shardReads[s], shardOpts)
 		}(s)
 	}
@@ -120,6 +122,9 @@ func ShardedContext(ctx context.Context, reads []dna.Seq, shards int, opts Optio
 
 	out := make([][]int, 0, len(meta.Clusters))
 	for _, group := range meta.Clusters {
+		if ctx.Err() != nil {
+			return Result{Stats: stats}, context.Cause(ctx)
+		}
 		var merged []int
 		for _, repIdx := range group {
 			merged = append(merged, repHome[repIdx]...)

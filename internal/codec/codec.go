@@ -115,6 +115,12 @@ func NewCodec(p Params) (*Codec, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.K*p.PayloadBytes < headerBytes {
+		// DecodeFile reads a uint64 length header from the first unit; a
+		// geometry that cannot hold it would panic there on valid input.
+		return nil, fmt.Errorf("codec: unit carries %d data bytes (K·PayloadBytes), need at least %d for the file header",
+			p.K*p.PayloadBytes, headerBytes)
+	}
 	if p.Mapper != nil && len(p.Mapper.profile) != p.PayloadBytes {
 		return nil, fmt.Errorf("codec: mapper profile has %d rows, unit has %d", len(p.Mapper.profile), p.PayloadBytes)
 	}

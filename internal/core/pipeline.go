@@ -235,7 +235,7 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 	if ctx.Err() != nil {
 		return res, cancelErr(ctx, "encode")
 	}
-	start := time.Now()
+	start := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 	strands, err := p.Codec.EncodeFile(data)
 	if err != nil {
 		return res, err
@@ -244,7 +244,7 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 	res.Strands = len(strands)
 
 	var reads []sim.Read
-	start = time.Now()
+	start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 	err = runStage(ctx, "simulate", opts.StageTimeout, func(ctx context.Context) error {
 		var serr error
 		reads, serr = p.Simulator.Simulate(ctx, strands)
@@ -261,7 +261,7 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 		seqs[i] = r.Seq
 	}
 	var clu cluster.Result
-	start = time.Now()
+	start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 	err = runStage(ctx, "cluster", opts.StageTimeout, func(ctx context.Context) error {
 		var cerr error
 		clu, cerr = p.Clusterer.Cluster(ctx, seqs)
@@ -295,7 +295,7 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 			return res, noUsableClustersErr(minSize, len(clu.Clusters))
 		}
 		var recons []dna.Seq
-		start = time.Now()
+		start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 		err = runStage(ctx, "reconstruct", opts.StageTimeout, func(ctx context.Context) error {
 			var rerr error
 			recons, rerr = reconstructor.ReconstructAll(ctx, clusterSeqs, p.Codec.StrandLen())
@@ -311,7 +311,7 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 
 		var out []byte
 		var report codec.Report
-		start = time.Now()
+		start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
 			var derr error
 			out, report, derr = p.Codec.DecodeFileContext(ctx, recons, codec.DecodeOptions{})
@@ -358,7 +358,7 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 		// (least filtered) reconstruction allows, with the damage map.
 		var out []byte
 		var report codec.Report
-		start = time.Now()
+		start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
 			var derr error
 			out, report, derr = p.Codec.DecodeFileContext(ctx, firstRecons, codec.DecodeOptions{BestEffort: true})

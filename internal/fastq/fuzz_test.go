@@ -1,0 +1,52 @@
+package fastq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzFastqParse feeds arbitrary bytes to the FASTQ parser. Parse must
+// never panic; when it accepts the input, the records must survive a
+// Write→Parse round trip unchanged, and the per-record accessors
+// (MeanPhred, FilterByQuality) must hold their invariants.
+func FuzzFastqParse(f *testing.F) {
+	f.Add([]byte("@r1\nACGT\n+\nIIII\n"))
+	f.Add([]byte("@r1\nACGT\n+\nIIII\n\n@r2\nTT\n+anything\n!~\n"))
+	f.Add([]byte("@broken\nACGT\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to crash
+		}
+		for _, r := range records {
+			if len(r.Quality) != len(r.Seq) {
+				t.Fatalf("accepted record with quality/sequence length mismatch: %q", r.ID)
+			}
+			if m := r.MeanPhred(); m < 0 || m != m {
+				t.Fatalf("MeanPhred out of range for %q: %v", r.ID, m)
+			}
+		}
+		var buf strings.Builder
+		if err := Write(&buf, records); err != nil {
+			t.Fatalf("Write of parsed records failed: %v", err)
+		}
+		again, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-parse of written records failed: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(records), len(again))
+		}
+		for i := range records {
+			if again[i].ID != records[i].ID || again[i].Seq != records[i].Seq || again[i].Quality != records[i].Quality {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, records[i], again[i])
+			}
+		}
+		kept, dropped := FilterByQuality(records, 20)
+		if len(kept)+dropped != len(records) {
+			t.Fatalf("FilterByQuality lost records: %d kept + %d dropped != %d", len(kept), dropped, len(records))
+		}
+	})
+}

@@ -240,6 +240,7 @@ func ConsensusWithConfidence(reads []dna.Seq, targetLen int) (dna.Seq, float64) 
 // workers <= 0 uses GOMAXPROCS; zero clusters and workers exceeding the
 // cluster count are both fine (the pool is clamped to the work available).
 func ReconstructAll(clusters [][]dna.Seq, targetLen int, algo Algorithm, workers int) []dna.Seq {
+	//dnalint:allow errflow -- background context never cancels, the only error ReconstructAllContext can return
 	out, _ := ReconstructAllContext(context.Background(), clusters, targetLen, algo, workers)
 	return out
 }
@@ -266,6 +267,11 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Worker-level backstop: reconstructOne already salvages per-
+			// cluster panics, but a panic in the dispatch loop itself must
+			// not kill the process — the worker's remaining clusters stay
+			// nil, which the decoder treats as erasures.
+			defer func() { _ = recover() }()
 			for i := w; i < len(clusters); i += workers {
 				if stop.Load() {
 					return

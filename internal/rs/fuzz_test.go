@@ -1,0 +1,76 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzRSDecode drives Decode with fuzzer-chosen geometry, payloads and
+// corruption. Three invariants must hold for every input:
+//
+//  1. Decode never panics, whatever the codeword bytes are;
+//  2. a codeword corrupted within the code's correction capability
+//     ((n-k)/2 errors) round-trips to the original data;
+//  3. structurally malformed inputs fail with ErrShape, not a crash.
+func FuzzRSDecode(f *testing.F) {
+	f.Add([]byte("hello world"), byte(12), byte(8), byte(0))
+	f.Add([]byte{}, byte(255), byte(1), byte(7))
+	f.Add([]byte{0xff, 0x00, 0xa5}, byte(6), byte(2), byte(3))
+	f.Fuzz(func(t *testing.T, data []byte, nb, kb, mut byte) {
+		n := 2 + int(nb)%254   // 2..255
+		k := 1 + int(kb)%(n-1) // 1..n-1
+		code, err := New(n, k)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", n, k, err)
+		}
+
+		payload := make([]byte, k)
+		copy(payload, data)
+		cw, err := code.Encode(payload)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+
+		// Corrupt up to (n-k)/2 symbols at pseudo-random positions derived
+		// from the fuzz input; decoding must still recover the payload.
+		maxErr := (n - k) / 2
+		corrupted := append([]byte(nil), cw...)
+		pos := int(mut)
+		for e := 0; e < maxErr; e++ {
+			pos = (pos*31 + e + int(mut)) % n
+			corrupted[pos] ^= mut | 1 // never a zero XOR: a real corruption
+		}
+		got, err := code.Decode(corrupted, nil)
+		if err != nil {
+			t.Fatalf("Decode failed within capability (n=%d k=%d, %d errors): %v", n, k, maxErr, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip mismatch (n=%d k=%d): got %x want %x", n, k, got, payload)
+		}
+
+		// Arbitrary bytes of codeword length must never panic — any outcome
+		// (data, ErrTooManyErrors) is acceptable, a crash is not.
+		garbage := make([]byte, n)
+		copy(garbage, data)
+		if _, err := code.Decode(garbage, nil); err != nil && !errors.Is(err, ErrTooManyErrors) {
+			t.Fatalf("Decode(garbage) returned unexpected error class: %v", err)
+		}
+
+		// Shape violations are typed, never panics or index faults.
+		if _, err := code.Decode(nil, nil); !errors.Is(err, ErrShape) {
+			t.Fatalf("Decode(nil) = %v, want ErrShape", err)
+		}
+		if _, err := code.Decode(cw[:len(cw)-1], nil); !errors.Is(err, ErrShape) {
+			t.Fatalf("Decode(short) = %v, want ErrShape", err)
+		}
+		if _, err := code.Decode(cw, []int{n}); !errors.Is(err, ErrShape) {
+			t.Fatalf("Decode(erasure out of range) = %v, want ErrShape", err)
+		}
+		if n-k >= 2 {
+			if _, err := code.Decode(cw, []int{0, 0}); !errors.Is(err, ErrShape) {
+				t.Fatalf("Decode(duplicate erasure) = %v, want ErrShape", err)
+			}
+		}
+	})
+}

@@ -28,6 +28,14 @@ type Code struct {
 // code's correction capability.
 var ErrTooManyErrors = errors.New("rs: too many errors to correct")
 
+// ErrShape is returned (wrapped, with detail) when Decode or Encode inputs
+// are structurally malformed — nil or wrong-length codewords, erasure
+// indices out of range or duplicated — as opposed to well-formed but
+// uncorrectable codewords, which yield ErrTooManyErrors. Callers that
+// retry with different erasure sets can use errors.Is(err, ErrShape) to
+// tell "fix the call" apart from "the data is gone".
+var ErrShape = errors.New("malformed input shape")
+
 // New returns a Reed–Solomon code with n total symbols of which k are data.
 // Requires 0 < k < n <= 255.
 func New(n, k int) (*Code, error) {
@@ -60,7 +68,7 @@ func (c *Code) Parity() int { return c.n - c.k }
 // len(data) must equal K().
 func (c *Code) Encode(data []byte) ([]byte, error) {
 	if len(data) != c.k {
-		return nil, fmt.Errorf("rs: Encode needs %d data bytes, got %d", c.k, len(data))
+		return nil, fmt.Errorf("rs: Encode needs %d data bytes, got %d: %w", c.k, len(data), ErrShape)
 	}
 	out := make([]byte, c.n)
 	copy(out, data)
@@ -104,16 +112,23 @@ func (c *Code) syndromes(cw []byte) ([]byte, bool) {
 // corrected word fails re-validation.
 func (c *Code) Decode(codeword []byte, erasures []int) ([]byte, error) {
 	if len(codeword) != c.n {
-		return nil, fmt.Errorf("rs: Decode needs %d symbols, got %d", c.n, len(codeword))
+		return nil, fmt.Errorf("rs: Decode needs %d symbols, got %d: %w", c.n, len(codeword), ErrShape)
 	}
 	nsym := c.n - c.k
 	if len(erasures) > nsym {
 		return nil, ErrTooManyErrors
 	}
+	var seen [256]bool
 	for _, e := range erasures {
 		if e < 0 || e >= c.n {
-			return nil, fmt.Errorf("rs: erasure index %d out of range [0,%d)", e, c.n)
+			return nil, fmt.Errorf("rs: erasure index %d out of range [0,%d): %w", e, c.n, ErrShape)
 		}
+		if seen[e] {
+			// A duplicated erasure would put a repeated root in the erasure
+			// locator and silently waste correction capability.
+			return nil, fmt.Errorf("rs: duplicate erasure index %d: %w", e, ErrShape)
+		}
+		seen[e] = true
 	}
 
 	cw := append([]byte(nil), codeword...)

@@ -110,6 +110,10 @@ func SimulatePoolContext(ctx context.Context, strands []dna.Seq, opts Options) (
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Worker-level backstop: simulateStrand already salvages per-item
+			// panics, but a panic in the dispatch loop itself must not kill
+			// the process — the worker's remaining strands become dropouts.
+			defer func() { _ = recover() }()
 			for i := w; i < len(strands); i += workers {
 				if stop.Load() {
 					return
