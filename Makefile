@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt lint fuzz-smoke bench experiments experiments-quick examples clean
+.PHONY: all build test test-short race vet fmt lint fuzz-smoke bench bench-json bench-smoke experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -47,6 +47,18 @@ fuzz-smoke:
 # benchmarks at the repository root.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Stage-throughput harness: strands/sec, bytes/sec and allocs/op per
+# pipeline stage, with the frozen seed kernels as the allocation baseline.
+# Emits the BENCH_*.json trajectory the ROADMAP re-anchor reads.
+BENCH_JSON ?= BENCH_pr3.json
+bench-json:
+	$(GO) run ./cmd/experiments -run throughput -bench-json $(BENCH_JSON)
+
+# CI smoke variant: unit-test scale, guards against accidental quadratic
+# regressions while still uploading a comparable artifact.
+bench-smoke:
+	$(GO) run ./cmd/experiments -run throughput -quick -bench-json $(BENCH_JSON)
 
 # Regenerate every table and figure of the paper at full scale.
 experiments:

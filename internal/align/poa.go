@@ -29,23 +29,49 @@ const (
 
 type node struct {
 	base    dna.Base
-	preds   []int       // predecessor node ids (edges into this node)
-	succs   []int       // successor node ids
-	edgeW   map[int]int // pred id -> number of reads traversing the edge
-	aligned []int       // ids of nodes in the same alignment column
-	support int         // number of reads whose path includes this node
+	preds   []int // predecessor node ids (edges into this node)
+	edgeN   []int // parallel to preds: number of reads traversing the edge
+	succs   []int // successor node ids
+	aligned []int // ids of nodes in the same alignment column
+	support int   // number of reads whose path includes this node
 }
 
 // Graph is a partial-order alignment graph. The zero value is not usable;
 // construct with NewGraph. Graph is not safe for concurrent mutation;
-// reconstruction parallelizes across clusters, one Graph per cluster.
+// reconstruction parallelizes across clusters, one Graph per worker, reused
+// across that worker's clusters via Reset.
 type Graph struct {
-	nodes []node
-	paths [][]int // node path of each added sequence, in insertion order
+	nodes   []node
+	paths   [][]int // node path of each added sequence, in insertion order
+	scratch poaScratch
+}
+
+// poaScratch holds the DP and traversal buffers reused across AddSequence
+// calls: flat score/move/from tables indexed node*(m+1)+j, the virtual start
+// row, Kahn's-algorithm working sets and the traceback pair list. Buffers
+// grow on demand and are never shrunk, so after the first few reads the
+// alignment of an additional read performs no table allocations at all.
+type poaScratch struct {
+	score []int
+	move  []uint8
+	from  []int32
+	s0    []int
+	indeg []int
+	order []int
+	ready []int
+	pairs []pair
 }
 
 // NewGraph returns an empty POA graph.
 func NewGraph() *Graph { return &Graph{} }
+
+// Reset clears the graph for reuse on a new cluster while keeping the node,
+// path and DP scratch capacity. Reconstruction workers hold one Graph each
+// and Reset it between clusters instead of allocating a fresh graph.
+func (g *Graph) Reset() {
+	g.nodes = g.nodes[:0]
+	g.paths = g.paths[:0]
+}
 
 // NumSequences returns how many sequences have been added.
 func (g *Graph) NumSequences() int { return len(g.paths) }
@@ -54,49 +80,83 @@ func (g *Graph) NumSequences() int { return len(g.paths) }
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
 func (g *Graph) newNode(b dna.Base) int {
-	g.nodes = append(g.nodes, node{base: b, edgeW: map[int]int{}})
+	if len(g.nodes) < cap(g.nodes) {
+		// Reuse the slot (and its per-node slice capacity) left by Reset.
+		g.nodes = g.nodes[:len(g.nodes)+1]
+		n := &g.nodes[len(g.nodes)-1]
+		n.base = b
+		n.preds = n.preds[:0]
+		n.edgeN = n.edgeN[:0]
+		n.succs = n.succs[:0]
+		n.aligned = n.aligned[:0]
+		n.support = 0
+	} else {
+		g.nodes = append(g.nodes, node{base: b})
+	}
 	return len(g.nodes) - 1
 }
 
 func (g *Graph) addEdge(from, to int) {
 	n := &g.nodes[to]
-	if _, ok := n.edgeW[from]; !ok {
-		n.preds = append(n.preds, from)
-		g.nodes[from].succs = append(g.nodes[from].succs, to)
+	for i, p := range n.preds {
+		if p == from {
+			n.edgeN[i]++
+			return
+		}
 	}
-	n.edgeW[from]++
+	n.preds = append(n.preds, from)
+	n.edgeN = append(n.edgeN, 1)
+	g.nodes[from].succs = append(g.nodes[from].succs, to)
+}
+
+// growInts returns buf resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // topoOrder returns the node ids in a topological order (Kahn's algorithm,
-// smallest id first for determinism).
+// smallest id first for determinism). The returned slice is backed by the
+// graph's scratch and valid until the next topoOrder call.
 func (g *Graph) topoOrder() []int {
-	indeg := make([]int, len(g.nodes))
+	sc := &g.scratch
+	sc.indeg = growInts(sc.indeg, len(g.nodes))
+	indeg := sc.indeg
 	for i := range g.nodes {
 		indeg[i] = len(g.nodes[i].preds)
 	}
-	var heap []int
+	ready := growInts(sc.ready, len(g.nodes))[:0]
 	for i, d := range indeg {
 		if d == 0 {
-			heap = append(heap, i)
+			ready = append(ready, i)
 		}
 	}
-	sort.Ints(heap)
-	order := make([]int, 0, len(g.nodes))
-	for len(heap) > 0 {
-		n := heap[0]
-		heap = heap[1:]
+	sort.Ints(ready)
+	order := growInts(sc.order, len(g.nodes))[:0]
+	// Pop from the front with a head index (instead of reslicing) so the
+	// scratch buffer's base pointer survives for the next call; the pending
+	// region ready[head:] is kept sorted.
+	head := 0
+	for head < len(ready) {
+		n := ready[head]
+		head++
 		order = append(order, n)
 		for _, s := range g.nodes[n].succs {
 			indeg[s]--
 			if indeg[s] == 0 {
 				// Insert keeping the ready list sorted; lists are short.
-				pos := sort.SearchInts(heap, s)
-				heap = append(heap, 0)
-				copy(heap[pos+1:], heap[pos:])
-				heap[pos] = s
+				pos := head + sort.SearchInts(ready[head:], s)
+				ready = append(ready, 0)
+				copy(ready[pos+1:], ready[pos:])
+				ready[pos] = s
 			}
 		}
 	}
+	sc.order = order
+	sc.ready = ready[:0]
 	return order
 }
 
@@ -116,55 +176,72 @@ type pair struct {
 }
 
 // alignToGraph globally aligns s against the graph and returns the pair list
-// in forward order.
+// in forward order. The returned slice is backed by the graph's scratch and
+// valid until the next alignToGraph call.
 func (g *Graph) alignToGraph(s dna.Seq) []pair {
 	m := len(s)
 	order := g.topoOrder()
 	nNodes := len(g.nodes)
+	sc := &g.scratch
 
-	// DP tables indexed [node id][read prefix length].
-	score := make([][]int, nNodes)
-	move := make([][]uint8, nNodes)
-	from := make([][]int32, nNodes)
-	for _, id := range order {
-		score[id] = make([]int, m+1)
-		move[id] = make([]uint8, m+1)
-		from[id] = make([]int32, m+1)
+	// DP tables, flat and scratch-backed: cell (node id, read prefix length
+	// j) lives at id*stride + j. One grow replaces the seed's three fresh
+	// slices per node per added read.
+	stride := m + 1
+	sc.score = growInts(sc.score, nNodes*stride)
+	score := sc.score
+	if cap(sc.move) < nNodes*stride {
+		sc.move = make([]uint8, nNodes*stride)
+		sc.from = make([]int32, nNodes*stride)
 	}
+	move := sc.move[:nNodes*stride]
+	from := sc.from[:nNodes*stride]
 	// Virtual start: S0[j] = j*gap (leading insertions).
-	s0 := make([]int, m+1)
+	sc.s0 = growInts(sc.s0, stride)
+	s0 := sc.s0
+	s0[0] = 0
 	for j := 1; j <= m; j++ {
 		s0[j] = j * gapScore
 	}
 
+	// The DP loop body over (id, j): best/bestMove/bestFrom live outside the
+	// loop so the consider closure is built once per call, not once per cell.
+	var (
+		j        int
+		base     dna.Base
+		best     int
+		bestMove uint8
+		bestFrom int32
+	)
+	// Diagonal and vertical moves from one predecessor row (or the virtual
+	// start row for source nodes).
+	consider := func(prevRow []int, prevID int32) {
+		if j >= 1 {
+			sc := prevRow[j-1] + subScore
+			if base == s[j-1] {
+				sc = prevRow[j-1] + matchScore
+			}
+			if sc > best {
+				best, bestMove, bestFrom = sc, moveDiag, prevID
+			}
+		}
+		if sc := prevRow[j] + gapScore; sc > best {
+			best, bestMove, bestFrom = sc, moveVert, prevID
+		}
+	}
 	for _, id := range order {
 		n := &g.nodes[id]
-		row := score[id]
-		for j := 0; j <= m; j++ {
-			best := -1 << 30
-			bestMove := uint8(moveNone)
-			bestFrom := int32(-1)
-			// Diagonal and vertical moves from each predecessor (or the
-			// virtual start for source nodes).
-			consider := func(prevRow []int, prevID int32) {
-				if j >= 1 {
-					sc := prevRow[j-1] + subScore
-					if n.base == s[j-1] {
-						sc = prevRow[j-1] + matchScore
-					}
-					if sc > best {
-						best, bestMove, bestFrom = sc, moveDiag, prevID
-					}
-				}
-				if sc := prevRow[j] + gapScore; sc > best {
-					best, bestMove, bestFrom = sc, moveVert, prevID
-				}
-			}
+		base = n.base
+		row := score[id*stride : id*stride+stride]
+		for j = 0; j <= m; j++ {
+			best = -1 << 30
+			bestMove = moveNone
+			bestFrom = -1
 			if len(n.preds) == 0 {
 				consider(s0, -1)
 			}
 			for _, p := range n.preds {
-				consider(score[p], int32(p))
+				consider(score[p*stride:p*stride+stride], int32(p))
 			}
 			// Horizontal: insertion in read.
 			if j >= 1 {
@@ -173,35 +250,35 @@ func (g *Graph) alignToGraph(s dna.Seq) []pair {
 				}
 			}
 			row[j] = best
-			move[id][j] = bestMove
-			from[id][j] = bestFrom
+			move[id*stride+j] = bestMove
+			from[id*stride+j] = bestFrom
 		}
 	}
 
 	// Global alignment ends at a sink node with the full read consumed.
 	bestEnd, bestScore := -1, -1<<30
 	for _, id := range order {
-		if len(g.nodes[id].succs) == 0 && score[id][m] > bestScore {
-			bestScore = score[id][m]
+		if len(g.nodes[id].succs) == 0 && score[id*stride+m] > bestScore {
+			bestScore = score[id*stride+m]
 			bestEnd = id
 		}
 	}
 
 	// Traceback.
-	var rev []pair
-	cur, j := bestEnd, m
+	rev := sc.pairs[:0]
+	cur, tj := bestEnd, m
 	for cur != -1 {
-		switch move[cur][j] {
+		switch move[cur*stride+tj] {
 		case moveDiag:
-			rev = append(rev, pair{cur, j - 1})
-			next := int(from[cur][j])
-			cur, j = next, j-1
+			rev = append(rev, pair{cur, tj - 1})
+			next := int(from[cur*stride+tj])
+			cur, tj = next, tj-1
 		case moveVert:
 			rev = append(rev, pair{cur, -1})
-			cur = int(from[cur][j])
+			cur = int(from[cur*stride+tj])
 		case moveHorz:
-			rev = append(rev, pair{-1, j - 1})
-			j--
+			rev = append(rev, pair{-1, tj - 1})
+			tj--
 		default:
 			// Source node with moveNone at j==0 cannot happen because diag /
 			// vert from the virtual start always sets a move; guard anyway.
@@ -209,43 +286,58 @@ func (g *Graph) alignToGraph(s dna.Seq) []pair {
 		}
 	}
 	// Leading insertions before the first graph node.
-	for j > 0 {
-		rev = append(rev, pair{-1, j - 1})
-		j--
+	for tj > 0 {
+		rev = append(rev, pair{-1, tj - 1})
+		tj--
 	}
 	// Reverse into forward order.
 	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
 		rev[l], rev[r] = rev[r], rev[l]
 	}
+	sc.pairs = rev[:0]
 	return rev
 }
+
+// nextPathBuf extends g.paths by one slot and returns that slot's buffer,
+// emptied: after a Reset the slot retains its previous backing array, so a
+// reused graph records paths without reallocating them. The caller builds
+// the path with append and stores the final header with setPath.
+func (g *Graph) nextPathBuf(capHint int) []int {
+	if len(g.paths) < cap(g.paths) {
+		g.paths = g.paths[:len(g.paths)+1]
+		return g.paths[len(g.paths)-1][:0]
+	}
+	g.paths = append(g.paths, make([]int, 0, capHint))
+	return g.paths[len(g.paths)-1]
+}
+
+func (g *Graph) setPath(path []int) { g.paths[len(g.paths)-1] = path }
 
 // AddSequence aligns s to the graph and merges it. The first sequence seeds
 // the graph as a simple chain. Empty sequences are recorded with an empty
 // path and do not modify the graph.
 func (g *Graph) AddSequence(s dna.Seq) {
+	path := g.nextPathBuf(len(s) + 1)
 	if len(s) == 0 {
-		g.paths = append(g.paths, nil)
+		g.setPath(path)
 		return
 	}
 	if len(g.nodes) == 0 {
-		path := make([]int, len(s))
 		prev := -1
-		for i, b := range s {
+		for _, b := range s {
 			id := g.newNode(b)
 			g.nodes[id].support = 1
 			if prev >= 0 {
 				g.addEdge(prev, id)
 			}
 			prev = id
-			path[i] = id
+			path = append(path, id)
 		}
-		g.paths = append(g.paths, path)
+		g.setPath(path)
 		return
 	}
 
 	pairs := g.alignToGraph(s)
-	var path []int
 	last := -1
 	for _, pr := range pairs {
 		switch {
@@ -263,10 +355,16 @@ func (g *Graph) AddSequence(s dna.Seq) {
 				}
 			}
 			if target == -1 {
+				// Join the alignment ring of pr.node. The ring is a complete
+				// clique, so pr.node plus its aligned list enumerates it; the
+				// sibs view is taken before target joins, so the loop visits
+				// exactly the pre-existing members.
+				sibs := g.nodes[pr.node].aligned
 				target = g.newNode(b)
-				// Join the alignment ring of pr.node.
-				ring := append([]int{pr.node}, g.nodes[pr.node].aligned...)
-				for _, member := range ring {
+				g.nodes[pr.node].aligned = append(g.nodes[pr.node].aligned, target)
+				g.nodes[target].aligned = append(g.nodes[target].aligned, pr.node)
+				for i := 0; i < len(sibs); i++ {
+					member := sibs[i]
 					g.nodes[member].aligned = append(g.nodes[member].aligned, target)
 					g.nodes[target].aligned = append(g.nodes[target].aligned, member)
 				}
@@ -288,7 +386,7 @@ func (g *Graph) AddSequence(s dna.Seq) {
 		default: // deletion: the read skips this node
 		}
 	}
-	g.paths = append(g.paths, path)
+	g.setPath(path)
 }
 
 // Column summarizes one alignment column of the MSA induced by the graph.
@@ -306,8 +404,15 @@ func (c Column) Coverage() int {
 	return n
 }
 
-// Majority returns the plurality base of the column and whether the base
-// outvotes the gaps (i.e. whether the column should appear in a consensus).
+// Majority returns the plurality base of the column and whether the column
+// should appear in a consensus: the base must match or outvote the gaps
+// (ties keep the base). Tie-keeping is deliberate, not an off-by-one: under
+// the indel channel a *true* column's votes routinely tie the gap count
+// (half the reads deleted the base), and dropping it would delete a real
+// base with no recourse — whereas a tied spurious insertion that survives
+// here is still removed by the indel-heavy column trim in Consensus
+// (§VII-C). Measured on the Fig. 6 workload, strict-majority dropping raises
+// the NW per-index error above BMA's; see TestMajorityTieSemantics.
 func (c Column) Majority() (dna.Base, bool) {
 	best, bestN := dna.A, -1
 	for b, n := range c.Counts {
@@ -501,13 +606,22 @@ func (g *Graph) Consensus(targetLen int) dna.Seq {
 	return out
 }
 
-// Consensus aligns all reads into a fresh POA graph and returns the majority
-// consensus, trimming to targetLen as described in §VII-C. It is the
-// convenience entry point used by the reconstruction module.
-func Consensus(reads []dna.Seq, targetLen int) dna.Seq {
-	g := NewGraph()
+// ConsensusOf resets the graph, aligns all reads into it and returns the
+// majority consensus, trimming to targetLen as described in §VII-C. It is
+// the scratch-reusing entry point: a worker that holds one Graph and calls
+// ConsensusOf per cluster pays no DP-table allocations after warmup.
+func (g *Graph) ConsensusOf(reads []dna.Seq, targetLen int) dna.Seq {
+	g.Reset()
 	for _, r := range reads {
 		g.AddSequence(r)
 	}
 	return g.Consensus(targetLen)
+}
+
+// Consensus aligns all reads into a fresh POA graph and returns the majority
+// consensus, trimming to targetLen as described in §VII-C. It is the
+// convenience entry point used by one-off callers; the reconstruction worker
+// pool reuses a per-worker graph via ConsensusOf instead.
+func Consensus(reads []dna.Seq, targetLen int) dna.Seq {
+	return NewGraph().ConsensusOf(reads, targetLen)
 }

@@ -113,17 +113,19 @@ func TestConsensusHelper(t *testing.T) {
 
 func TestTargetLenTrimming(t *testing.T) {
 	ref := seq("ACGTACGTAC")
-	// Two reads insert different extra bases; untrimmed consensus can exceed
-	// len(ref) when insertions tie with gaps.
+	// Three of five reads insert the same extra base: the inserted column
+	// strictly outvotes the gaps (3 > 2), so the untrimmed consensus exceeds
+	// len(ref) and the trim must drop that indel-heavy column.
 	insA := append(ref[:5:5].Clone(), append(dna.Seq{dna.T}, ref[5:]...)...)
 	g := NewGraph()
+	g.AddSequence(insA)
 	g.AddSequence(insA)
 	g.AddSequence(insA)
 	g.AddSequence(ref)
 	g.AddSequence(ref)
 	full := g.Consensus(0)
-	if len(full) < len(ref) {
-		t.Fatalf("untrimmed consensus too short: %v", full)
+	if len(full) != len(ref)+1 {
+		t.Fatalf("untrimmed consensus length = %d, want %d: %v", len(full), len(ref)+1, full)
 	}
 	trimmed := g.Consensus(len(ref))
 	if len(trimmed) != len(ref) {
@@ -246,6 +248,104 @@ func TestColumnsMajority(t *testing.T) {
 	}
 	if c.Coverage() != 7 {
 		t.Fatalf("coverage = %d", c.Coverage())
+	}
+}
+
+// TestMajorityTieSemantics is the regression test for the tie case the doc
+// used to contradict: a base that exactly ties the gap count KEEPS the
+// column. Ties are ambiguous between "spurious insertion seen by half the
+// reads" and "true base deleted by half the reads"; keeping the base is
+// recoverable (the §VII-C indel-heavy trim removes tied insertions when the
+// consensus runs long) while dropping it would silently delete true bases —
+// measured on the Fig. 6 workload, strict dropping raises the NW per-index
+// error peak above BMA's.
+func TestMajorityTieSemantics(t *testing.T) {
+	var c Column
+	c.Counts[dna.T] = 3
+	c.Gaps = 3
+	if b, ok := c.Majority(); !ok || b != dna.T {
+		t.Fatalf("base tying the gap count must keep the column: %v,%v", b, ok)
+	}
+	c.Gaps = 4
+	if _, ok := c.Majority(); ok {
+		t.Fatal("outvoted base kept the column")
+	}
+	// An all-gap column (support can be zero after an empty read) never
+	// contributes a base, even though 0 ties Gaps == 0 vacuously.
+	var empty Column
+	if _, ok := empty.Majority(); ok {
+		t.Fatal("empty column kept a base")
+	}
+	empty.Gaps = 2
+	if _, ok := empty.Majority(); ok {
+		t.Fatal("all-gap column kept a base")
+	}
+	// End-to-end: a 2-read cluster where one read inserts a base produces a
+	// tied column. The untrimmed consensus keeps it; the targetLen trim —
+	// not the majority vote — is what removes it.
+	ref := seq("ACGTACGTAC")
+	ins := append(ref[:5:5].Clone(), append(dna.Seq{dna.T}, ref[5:]...)...)
+	g := NewGraph()
+	g.AddSequence(ref)
+	g.AddSequence(ins)
+	if got := g.Consensus(0); len(got) != len(ref)+1 {
+		t.Fatalf("tied insertion column should survive the untrimmed vote: %v", got)
+	}
+	if got := g.Consensus(len(ref)); !got.Equal(ref) {
+		t.Fatalf("trim did not remove the tied insertion: %v, want %v", got, ref)
+	}
+}
+
+// TestGraphResetReuse checks the worker-pool calling convention: one Graph
+// reused across clusters via ConsensusOf must produce exactly the same
+// consensus as a fresh graph per cluster.
+func TestGraphResetReuse(t *testing.T) {
+	rng := xrand.New(9)
+	reused := NewGraph()
+	for trial := 0; trial < 50; trial++ {
+		ref := dna.Random(rng, 20+rng.Intn(80))
+		var reads []dna.Seq
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			reads = append(reads, mutate(rng, ref, 0.08))
+		}
+		if rng.Intn(5) == 0 {
+			reads = append(reads, nil) // empty reads must stay harmless
+		}
+		want := Consensus(reads, len(ref))
+		got := reused.ConsensusOf(reads, len(ref))
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: reused-graph consensus %v != fresh %v", trial, got, want)
+		}
+		if reused.NumSequences() != len(reads) {
+			t.Fatalf("trial %d: NumSequences = %d after reset, want %d", trial, reused.NumSequences(), len(reads))
+		}
+	}
+}
+
+// TestAddSequenceStopsAllocating pins the scratch reuse: once a reused graph
+// has seen a cluster of a given shape, adding further same-length reads to a
+// reset graph performs only O(1) bookkeeping allocations (path slice and
+// column machinery), not O(nodes) DP rows.
+func TestAddSequenceStopsAllocating(t *testing.T) {
+	rng := xrand.New(10)
+	ref := dna.Random(rng, 110)
+	var reads []dna.Seq
+	for i := 0; i < 10; i++ {
+		reads = append(reads, mutate(rng, ref, 0.06))
+	}
+	g := NewGraph()
+	g.ConsensusOf(reads, len(ref)) // warm node, path and DP scratch
+	n := testing.AllocsPerRun(20, func() {
+		g.Reset()
+		for _, r := range reads {
+			g.AddSequence(r)
+		}
+	})
+	// The seed implementation allocated 3 slices per node per read (~3000
+	// allocations for this cluster); the scratch path only re-allocates a
+	// path slice per read plus occasional per-node slice growth.
+	if n > 60 {
+		t.Errorf("adding 10 reads allocates %.0f objects per run; scratch reuse is not effective", n)
 	}
 }
 

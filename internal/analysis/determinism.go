@@ -27,13 +27,16 @@ var determinismScope = scopeOf(
 	"dnastore/internal/core",
 )
 
-// Determinism forbids the three ways nondeterminism sneaks into a seeded
+// Determinism forbids the ways nondeterminism sneaks into a seeded
 // pipeline: importing math/rand (ambient global RNG), calling time.Now
-// (wall-clock values in outputs), and ranging over a map while appending to
-// a slice that is never sorted afterwards (iteration-order leakage).
+// (wall-clock values in outputs), ranging over a map while appending to
+// a slice that is never sorted afterwards (iteration-order leakage), and
+// sync.Pool on the data path (pooled scratch is handed out in scheduler
+// order — per-worker scratch, one value per goroutine, is the sanctioned
+// reuse pattern; see DESIGN.md "Performance").
 var Determinism = &Analyzer{
 	Name:    "determinism",
-	Doc:     "forbid math/rand, time.Now and unsorted map-order leakage in the seeded data path",
+	Doc:     "forbid math/rand, time.Now, sync.Pool and unsorted map-order leakage in the seeded data path",
 	Applies: determinismScope,
 	Run:     runDeterminism,
 }
@@ -50,12 +53,23 @@ func runDeterminism(pass *Pass) {
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if calleeFullName(pass.Info, call) == "time.Now" {
-				pass.Reportf(call.Pos(), "call to time.Now: wall-clock values make seeded runs irreproducible")
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if calleeFullName(pass.Info, n) == "time.Now" {
+					pass.Reportf(n.Pos(), "call to time.Now: wall-clock values make seeded runs irreproducible")
+				}
+			case *ast.SelectorExpr:
+				// Any mention of the sync.Pool type — a field, a var, a
+				// composite literal. Pools hand scratch out in scheduler
+				// order, so state accidentally left in a pooled buffer
+				// surfaces differently on every run; the hot path uses
+				// per-worker scratch instead (one value per goroutine,
+				// never shared). A genuinely safe pool must say why via
+				// //dnalint:allow determinism.
+				if tn, ok := pass.Info.Uses[n.Sel].(*types.TypeName); ok &&
+					tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "Pool" {
+					pass.Reportf(n.Pos(), "sync.Pool in the seeded data path: pooled scratch is reused in scheduler order; hold one scratch per worker instead (DESIGN.md Performance)")
+				}
 			}
 			return true
 		})

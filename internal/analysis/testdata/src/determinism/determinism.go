@@ -1,11 +1,13 @@
 // Package determinism exercises the determinism analyzer: ambient
-// randomness, wall-clock reads and map-iteration-order leakage are flagged;
-// time.Since, sorted collections and reasoned directives are not.
+// randomness, wall-clock reads, map-iteration-order leakage and sync.Pool
+// scratch are flagged; time.Since, sorted collections, per-worker scratch
+// structs and reasoned directives are not.
 package determinism
 
 import (
 	"math/rand" // want "import of math/rand: seeded modules must use dnastore/internal/xrand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -35,4 +37,35 @@ func mapOrderSorted(m map[string]int) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// Pooled scratch on the data path: flagged wherever the type is mentioned.
+var rowPool = sync.Pool{ // want "sync.Pool in the seeded data path"
+	New: func() any { return make([]int, 0, 64) },
+}
+
+type pooledAligner struct {
+	rows sync.Pool // want "sync.Pool in the seeded data path"
+}
+
+// A reasoned directive keeps a genuinely safe pool usable.
+var safePool = sync.Pool{ //dnalint:allow determinism -- golden test: pooled values are fully overwritten before every read
+	New: func() any { return new([16]byte) },
+}
+
+// Per-worker scratch — one value per goroutine, grown not shared — is the
+// sanctioned reuse pattern and must stay unflagged. mu is here only to prove
+// plain sync primitives are not confused with sync.Pool.
+type workerScratch struct {
+	mu   sync.Mutex
+	prev []int
+	cur  []int
+}
+
+func (s *workerScratch) rows(n int) ([]int, []int) {
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.cur = make([]int, n)
+	}
+	return s.prev[:n], s.cur[:n]
 }

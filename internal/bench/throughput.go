@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dnastore/internal/align"
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/dna"
+	"dnastore/internal/edit"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+	"dnastore/internal/xrand"
+)
+
+// ThroughputConfig sizes the stage-throughput harness: one synthetic pool
+// pushed through every pipeline stage, each stage timed and alloc-probed
+// independently. The harness is the source of the BENCH_*.json trajectory
+// the ROADMAP's "fast as the hardware allows" goal is tracked against.
+type ThroughputConfig struct {
+	Strands   int     `json:"strands"`
+	StrandLen int     `json:"strand_len"`
+	Coverage  int     `json:"coverage"`
+	ErrorRate float64 `json:"error_rate"`
+	FileBytes int     `json:"file_bytes"` // data pushed through encode/decode
+	Seed      uint64  `json:"seed"`
+}
+
+// DefaultThroughput sizes the harness for a stable measurement (seconds).
+func DefaultThroughput() ThroughputConfig {
+	return ThroughputConfig{
+		Strands:   600,
+		StrandLen: 110,
+		Coverage:  8,
+		ErrorRate: 0.03,
+		FileBytes: 6000,
+		Seed:      7,
+	}
+}
+
+// QuickThroughput sizes the harness for CI smoke runs (sub-second stages).
+func QuickThroughput() ThroughputConfig {
+	c := DefaultThroughput()
+	c.Strands = 120
+	c.FileBytes = 1500
+	return c
+}
+
+// StageStat is one stage's measurement. SeedAllocsPerOp is populated only
+// for stages with a frozen seed-kernel counterpart (see reference.go);
+// AllocRatio is then seed/current — the ≥3× acceptance target reads it.
+type StageStat struct {
+	Stage           string  `json:"stage"`
+	Items           int     `json:"items"`
+	Unit            string  `json:"unit"`
+	Seconds         float64 `json:"seconds"`
+	ItemsPerSec     float64 `json:"items_per_sec"`
+	StrandsPerSec   float64 `json:"strands_per_sec"`
+	BytesPerSec     float64 `json:"bytes_per_sec"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	SeedAllocsPerOp float64 `json:"seed_allocs_per_op,omitempty"`
+	AllocRatio      float64 `json:"alloc_ratio,omitempty"`
+}
+
+// ThroughputResult is the full harness output; it marshals directly into
+// BENCH_*.json via cmd/experiments -bench-json.
+type ThroughputResult struct {
+	Config             ThroughputConfig `json:"config"`
+	GoMaxProcs         int              `json:"gomaxprocs"`
+	GoVersion          string           `json:"go_version"`
+	Stages             []StageStat      `json:"stages"`
+	ConsensusIdentical bool             `json:"consensus_identical"`
+}
+
+// Stage returns the named stage's stats (zero value when absent).
+func (r ThroughputResult) Stage(name string) StageStat {
+	for _, s := range r.Stages {
+		if s.Stage == name {
+			return s
+		}
+	}
+	return StageStat{}
+}
+
+// allocsPerRun measures the mean number of heap allocations per call of f,
+// in the style of testing.AllocsPerRun (single-threaded, warmed up) but
+// usable outside a test binary so cmd/experiments can emit it into JSON.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm caches and scratch buffers
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// timeStage runs f once, timing it, and derives rates from the item/byte
+// volumes the stage processed.
+func timeStage(name, unit string, items, strands, bytes int, f func()) StageStat {
+	start := time.Now() //dnalint:allow determinism -- benchmark timing, never feeds a pipeline decision
+	f()
+	sec := time.Since(start).Seconds()
+	st := StageStat{Stage: name, Items: items, Unit: unit, Seconds: sec}
+	if sec > 0 {
+		st.ItemsPerSec = float64(items) / sec
+		st.StrandsPerSec = float64(strands) / sec
+		st.BytesPerSec = float64(bytes) / sec
+	}
+	return st
+}
+
+// Throughput measures every pipeline stage on one synthetic pool and
+// alloc-probes the alignment kernels against their frozen seed
+// implementations. The reconstruction probe also verifies that the
+// scratch-reusing POA consensus is byte-identical to the seed consensus on
+// every cluster (ConsensusIdentical).
+func Throughput(cfg ThroughputConfig) ThroughputResult {
+	res := ThroughputResult{
+		Config:     cfg,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	// --- encode ---
+	c, err := codec.NewCodec(codec.Params{N: 150, K: 120, PayloadBytes: 30, Seed: cfg.Seed})
+	if err != nil {
+		panic("bench: default codec params invalid: " + err.Error())
+	}
+	rng := xrand.New(cfg.Seed)
+	data := make([]byte, cfg.FileBytes)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	var encoded []dna.Seq
+	st := timeStage("encode", "byte", len(data), 0, len(data), func() {
+		encoded, err = c.EncodeFile(data)
+		if err != nil {
+			panic("bench: encode failed: " + err.Error())
+		}
+	})
+	st.StrandsPerSec = float64(len(encoded)) / maxf(st.Seconds, 1e-9)
+	//dnalint:allow errflow -- alloc probe re-runs the encode already validated above; only Mallocs are read
+	st.AllocsPerOp = allocsPerRun(3, func() { _, _ = c.EncodeFile(data) })
+	res.Stages = append(res.Stages, st)
+
+	// --- simulate (channel + coverage sampling) ---
+	strands := make([]dna.Seq, cfg.Strands)
+	for i := range strands {
+		strands[i] = dna.Random(rng, cfg.StrandLen)
+	}
+	simOpts := sim.Options{
+		Channel:  sim.CalibratedIID(cfg.ErrorRate),
+		Coverage: sim.FixedCoverage(cfg.Coverage),
+		Seed:     cfg.Seed + 1,
+	}
+	var reads []sim.Read
+	st = timeStage("simulate", "strand", cfg.Strands, cfg.Strands, 0, func() {
+		reads = sim.SimulatePool(strands, simOpts)
+	})
+	readSeqs := make([]dna.Seq, len(reads))
+	readBytes := 0
+	for i, r := range reads {
+		readSeqs[i] = r.Seq
+		readBytes += len(r.Seq)
+	}
+	st.BytesPerSec = float64(readBytes) / maxf(st.Seconds, 1e-9)
+	res.Stages = append(res.Stages, st)
+
+	// --- edit-distance kernel (scratch vs seed) ---
+	pairs := 2000
+	if pairs > len(readSeqs)*(len(readSeqs)-1)/2 {
+		pairs = len(readSeqs) * (len(readSeqs) - 1) / 2
+	}
+	threshold := cfg.StrandLen / 4
+	var es edit.Scratch
+	editBytes := 0
+	st = timeStage("edit-distance", "pair", pairs, 0, 0, func() {
+		prng := xrand.New(cfg.Seed + 2)
+		for i := 0; i < pairs; i++ {
+			a := readSeqs[prng.Intn(len(readSeqs))]
+			b := readSeqs[prng.Intn(len(readSeqs))]
+			es.Within(a, b, threshold)
+			editBytes += len(a) + len(b)
+		}
+	})
+	st.BytesPerSec = float64(editBytes) / maxf(st.Seconds, 1e-9)
+	pa, pb := readSeqs[0], readSeqs[1%len(readSeqs)]
+	st.AllocsPerOp = allocsPerRun(100, func() { es.Within(pa, pb, threshold) })
+	st.SeedAllocsPerOp = allocsPerRun(100, func() { refWithin(pa, pb, threshold) })
+	st.AllocRatio = ratio(st.SeedAllocsPerOp, st.AllocsPerOp)
+	res.Stages = append(res.Stages, st)
+
+	// --- cluster ---
+	clusterOpts := cluster.Options{Seed: cfg.Seed + 3}
+	var clusterRes cluster.Result
+	st = timeStage("cluster", "read", len(readSeqs), len(readSeqs), readBytes, func() {
+		clusterRes = cluster.Cluster(readSeqs, clusterOpts)
+	})
+	res.Stages = append(res.Stages, st)
+	clusters := make([][]dna.Seq, len(clusterRes.Clusters))
+	clusteredBytes := 0
+	for i, idxs := range clusterRes.Clusters {
+		clusters[i] = make([]dna.Seq, len(idxs))
+		for j, idx := range idxs {
+			clusters[i][j] = readSeqs[idx]
+			clusteredBytes += len(readSeqs[idx])
+		}
+	}
+
+	// --- reconstruct (POA consensus, scratch vs seed) ---
+	var consensuses []dna.Seq
+	st = timeStage("reconstruct-nw", "cluster", len(clusters), len(clusters), clusteredBytes, func() {
+		consensuses = recon.ReconstructAll(clusters, cfg.StrandLen, recon.NW{}, 0)
+	})
+	// Byte-identical check: the reused-graph consensus must equal the seed
+	// implementation on every cluster, and a probe cluster feeds the
+	// allocs/op comparison that the ≥3× acceptance target reads.
+	res.ConsensusIdentical = true
+	g := align.NewGraph()
+	for i, cl := range clusters {
+		if !consensuses[i].Equal(g.ConsensusOf(cl, cfg.StrandLen)) ||
+			!consensuses[i].Equal(refConsensus(cl, cfg.StrandLen)) {
+			res.ConsensusIdentical = false
+			break
+		}
+	}
+	probe := largestCluster(clusters)
+	if len(probe) > 0 {
+		st.AllocsPerOp = allocsPerRun(5, func() { g.ConsensusOf(probe, cfg.StrandLen) })
+		st.SeedAllocsPerOp = allocsPerRun(5, func() { refConsensus(probe, cfg.StrandLen) })
+		st.AllocRatio = ratio(st.SeedAllocsPerOp, st.AllocsPerOp)
+	}
+	res.Stages = append(res.Stages, st)
+
+	// --- reconstruct (BMA, for cross-algorithm context) ---
+	st = timeStage("reconstruct-bma", "cluster", len(clusters), len(clusters), clusteredBytes, func() {
+		recon.ReconstructAll(clusters, cfg.StrandLen, recon.BMA{}, 0)
+	})
+	if len(probe) > 0 {
+		bma := recon.BMA{}
+		st.AllocsPerOp = allocsPerRun(5, func() { bma.Reconstruct(probe, cfg.StrandLen) })
+	}
+	res.Stages = append(res.Stages, st)
+
+	// --- decode (strand parsing + RS correction on the encoded pool) ---
+	var decoded []byte
+	st = timeStage("decode", "strand", len(encoded), len(encoded), len(data), func() {
+		decoded, _, err = c.DecodeFile(encoded)
+		if err != nil {
+			panic("bench: decode failed: " + err.Error())
+		}
+	})
+	if len(decoded) < len(data) || string(decoded[:len(data)]) != string(data) {
+		panic("bench: decode round-trip mismatch")
+	}
+	//dnalint:allow errflow -- alloc probe re-runs the decode already validated above; only Mallocs are read
+	st.AllocsPerOp = allocsPerRun(3, func() { _, _, _ = c.DecodeFile(encoded) })
+	res.Stages = append(res.Stages, st)
+
+	return res
+}
+
+func largestCluster(clusters [][]dna.Seq) []dna.Seq {
+	var best []dna.Seq
+	for _, cl := range clusters {
+		if len(cl) > len(best) {
+			best = cl
+		}
+	}
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ratio returns seed/current, treating a zero-alloc current as "at least
+// seed×" (reported as the seed count itself against a floor of one alloc).
+func ratio(seed, current float64) float64 {
+	if current <= 0 {
+		current = 1
+	}
+	if seed <= 0 {
+		return 0
+	}
+	return seed / current
+}
+
+// RenderThroughput prints the harness result as a text table.
+func RenderThroughput(w io.Writer, r ThroughputResult) {
+	fmt.Fprintf(w, "STAGE THROUGHPUT — %d strands × len %d, coverage %d, p=%.2f, GOMAXPROCS %d\n",
+		r.Config.Strands, r.Config.StrandLen, r.Config.Coverage, r.Config.ErrorRate, r.GoMaxProcs)
+	fmt.Fprintf(w, "%-16s %10s %14s %14s %14s %12s %12s %8s\n",
+		"stage", "items", "items/s", "strands/s", "bytes/s", "allocs/op", "seed-allocs", "ratio")
+	for _, s := range r.Stages {
+		seedCol, ratioCol := "-", "-"
+		if s.SeedAllocsPerOp > 0 {
+			seedCol = fmt.Sprintf("%.1f", s.SeedAllocsPerOp)
+			ratioCol = fmt.Sprintf("%.1fx", s.AllocRatio)
+		}
+		fmt.Fprintf(w, "%-16s %10d %14.0f %14.0f %14.0f %12.1f %12s %8s\n",
+			s.Stage, s.Items, s.ItemsPerSec, s.StrandsPerSec, s.BytesPerSec, s.AllocsPerOp, seedCol, ratioCol)
+	}
+	fmt.Fprintf(w, "consensus byte-identical to seed implementation: %v\n", r.ConsensusIdentical)
+}

@@ -214,6 +214,13 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		o.EditThreshold = autoEditThreshold(reads, readLen, xrand.Derive(o.Seed, 0xc0f3))
 	}
 
+	// Per-worker scratch, reused across all rounds: one DP scratch for the
+	// edit-distance confirmations and one first-occurrence table for the
+	// signature pass. Worker w is the only goroutine touching slot w (see
+	// parallelForCtxW), so no locking is needed.
+	editScr := make([]edit.Scratch, o.Workers)
+	sigScr := make([]sigScratch, o.Workers)
+
 	for round := 0; round < o.Rounds; round++ {
 		if err := context.Cause(ctx); err != nil {
 			return Result{Stats: stats}, err
@@ -262,8 +269,8 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		// Signatures for all representatives, in parallel.
 		sigStart := time.Now() //dnalint:allow determinism -- Stats timing telemetry; never feeds a clustering decision
 		sigList := make([][]int32, len(roots))
-		parallelForCtx(ctx, o.Workers, len(roots), func(i int) {
-			sigList[i] = grams.signature(reads[reps[roots[i]]])
+		parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
+			sigList[i] = grams.signatureScratch(reads[reps[roots[i]]], &sigScr[w])
 		})
 		sigs := make(map[int][]int32, len(roots))
 		for i, root := range roots {
@@ -284,7 +291,7 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		proposalsPer := make([][]proposal, len(keys))
 		editCalls := make([]int, len(keys))
 		cheap := make([]int, len(keys))
-		parallelForCtx(ctx, o.Workers, len(keys), func(ki int) {
+		parallelForCtxW(ctx, o.Workers, len(keys), func(w, ki int) {
 			key := keys[ki]
 			group := partitions[key]
 			if len(group) < 2 {
@@ -312,7 +319,7 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 						continue
 					}
 					editCalls[ki]++
-					if _, ok := edit.Within(reads[reps[a]], reads[reps[b]], o.EditThreshold); ok {
+					if _, ok := editScr[w].Within(reads[reps[a]], reads[reps[b]], o.EditThreshold); ok {
 						proposalsPer[ki] = append(proposalsPer[ki], proposal{a, b})
 					}
 				}
@@ -339,12 +346,13 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		// recognize mid-size fragments as stragglers and attach them too.
 		// Each pass draws fresh grams so a straggler whose signature ranked
 		// poorly under one gram set gets an independent second chance.
+		sweepScr := make([]sweepScratch, o.Workers)
 		for pass := 0; pass < 4; pass++ {
 			if err := context.Cause(ctx); err != nil {
 				stats.ClusterTime += time.Since(sweepStart)
 				return Result{Stats: stats}, err
 			}
-			merged := stragglerSweep(ctx, reads, uf, o, uint64(pass), &stats)
+			merged := stragglerSweep(ctx, reads, uf, o, uint64(pass), sweepScr, &stats)
 			if merged == 0 {
 				break
 			}
@@ -374,10 +382,30 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 	return Result{Clusters: out, Stats: stats}, nil
 }
 
+// sweepScratch is the per-worker reusable state of the straggler sweep: the
+// edit-distance DP scratch, the signature first-occurrence table, the
+// averaged-signature accumulators and the candidate-ranking buffer. Slot w
+// is touched only by worker w (parallelForCtxW), never shared.
+type sweepScratch struct {
+	edit  edit.Scratch
+	sig   sigScratch
+	sum   []float32
+	count []int32
+	cands []sweepCand
+}
+
+// sweepCand is a candidate cluster for a straggler merge, ranked by distance
+// to the cluster's averaged signature.
+type sweepCand struct {
+	j int
+	d float32
+}
+
 // stragglerSweep merges small clusters into their nearest cluster when an
 // edit-distance check confirms common origin, and returns the number of
-// merges applied. Edit-distance calls are accumulated into stats.
-func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Options, pass uint64, stats *Stats) int {
+// merges applied. Edit-distance calls are accumulated into stats. scr holds
+// one scratch per worker (len >= o.Workers), reused across passes.
+func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Options, pass uint64, scr []sweepScratch, stats *Stats) int {
 	members := map[int][]int{}
 	var roots []int
 	for i := range reads {
@@ -417,16 +445,27 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 	// error rates where any single representative's signature is mangled.
 	const sweepSigReads = 6
 	meanSigs := make([][]float32, len(roots))
-	parallelForCtx(ctx, o.Workers, len(roots), func(i int) {
+	parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
+		sc := &scr[w]
 		ms := members[roots[i]]
 		n := len(ms)
 		if n > sweepSigReads {
 			n = sweepSigReads
 		}
-		sum := make([]float32, len(grams.grams))
-		count := make([]int32, len(grams.grams))
+		// Accumulators come from the worker's scratch and must be re-zeroed
+		// (a fresh make would zero them too; this just skips the allocation).
+		if cap(sc.sum) < len(grams.grams) {
+			sc.sum = make([]float32, len(grams.grams))
+			sc.count = make([]int32, len(grams.grams))
+		}
+		sum := sc.sum[:len(grams.grams)]
+		count := sc.count[:len(grams.grams)]
+		for g := range sum {
+			sum[g] = 0
+			count[g] = 0
+		}
 		for _, m := range ms[:n] {
-			sig := grams.signature(reads[m])
+			sig := grams.signatureScratch(reads[m], &sc.sig)
 			for g, v := range sig {
 				if grams.mode == WGram {
 					if v == wgramAbsent {
@@ -457,24 +496,22 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 	type merge struct{ a, b int }
 	merges := make([][]merge, len(roots))
 	editCalls := make([]int, len(roots))
-	parallelForCtx(ctx, o.Workers, len(roots), func(i int) {
+	parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
 		if sizes[i] > small {
 			return
 		}
-		sig := grams.signature(reads[reps[i]])
+		sc := &scr[w]
+		sig := grams.signatureScratch(reads[reps[i]], &sc.sig)
 		// Rank the other clusters by distance to their averaged signature
 		// and edit-check the closest few.
-		type cand struct {
-			j int
-			d float32
-		}
-		cands := make([]cand, 0, len(roots)-1)
+		cands := sc.cands[:0]
 		for j := range roots {
 			if j == i {
 				continue
 			}
-			cands = append(cands, cand{j, grams.meanDistance(sig, meanSigs[j])})
+			cands = append(cands, sweepCand{j, grams.meanDistance(sig, meanSigs[j])})
 		}
+		sc.cands = cands[:0]
 		sort.Slice(cands, func(a, b int) bool {
 			if cands[a].d != cands[b].d {
 				return cands[a].d < cands[b].d
@@ -493,7 +530,7 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 		bestJ, bestD := -1, o.EditThreshold+1
 		for _, c := range cands[:limit] {
 			editCalls[i]++
-			if d, ok := edit.Within(reads[reps[i]], reads[reps[c.j]], o.EditThreshold); ok && d < bestD {
+			if d, ok := sc.edit.Within(reads[reps[i]], reads[reps[c.j]], o.EditThreshold); ok && d < bestD {
 				bestJ, bestD = c.j, d
 			}
 		}
@@ -522,9 +559,19 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 // every caller treats as "no evidence" (the read simply fails to merge this
 // round), so one poisoned read degrades clustering instead of crashing it.
 func parallelForCtx(ctx context.Context, workers, n int, fn func(i int)) {
-	guarded := func(i int) {
+	parallelForCtxW(ctx, workers, n, func(_, i int) { fn(i) })
+}
+
+// parallelForCtxW is parallelForCtx with the worker index exposed to fn.
+// The index is always in [0, workers) for the workers value passed in (the
+// internal clamp only shrinks the range), which is what lets callers hand
+// each worker its own scratch slot: fn(w, ·) calls for one w never overlap,
+// so scratch[w] is effectively goroutine-local. Cancellation and panic
+// containment are identical to parallelForCtx.
+func parallelForCtxW(ctx context.Context, workers, n int, fn func(worker, i int)) {
+	guarded := func(w, i int) {
 		defer func() { _ = recover() }()
-		fn(i)
+		fn(w, i)
 	}
 	if workers > n {
 		workers = n
@@ -534,7 +581,7 @@ func parallelForCtx(ctx context.Context, workers, n int, fn func(i int)) {
 			if ctx.Err() != nil {
 				return
 			}
-			guarded(i)
+			guarded(0, i)
 		}
 		return
 	}
@@ -557,7 +604,7 @@ func parallelForCtx(ctx context.Context, workers, n int, fn func(i int)) {
 					stop.Store(true)
 					return
 				}
-				guarded(i)
+				guarded(w, i)
 			}
 		}(w)
 	}

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"math"
+
 	"dnastore/internal/dna"
 	"dnastore/internal/xrand"
 )
@@ -64,11 +66,32 @@ func packGram(g dna.Seq) uint32 {
 	return c
 }
 
+// sigScratch holds the reusable first-occurrence table behind signature
+// computation. The table is 4^q entries — by far the largest allocation on
+// the signature path — so parallel callers hold one sigScratch per worker
+// and reuse it across every read that worker signs. The zero value is ready
+// to use; a sigScratch must never be shared between goroutines.
+type sigScratch struct {
+	table []int32
+}
+
 // firstOccurrences returns a table of the first position of every q-gram in
-// the read (-1 when absent), built in one pass.
+// the read (-1 when absent), built in one pass. The per-call-allocating
+// wrapper around firstOccurrencesInto.
 func (gs gramSet) firstOccurrences(read dna.Seq) []int32 {
+	var sc sigScratch
+	return gs.firstOccurrencesInto(read, &sc)
+}
+
+// firstOccurrencesInto is firstOccurrences backed by reusable scratch: the
+// returned table aliases sc.table and is only valid until the next call on
+// the same scratch.
+func (gs gramSet) firstOccurrencesInto(read dna.Seq, sc *sigScratch) []int32 {
 	size := 1 << (2 * uint(gs.q))
-	table := make([]int32, size)
+	if cap(sc.table) < size {
+		sc.table = make([]int32, size)
+	}
+	table := sc.table[:size]
 	for i := range table {
 		table[i] = -1
 	}
@@ -115,13 +138,31 @@ const WGramFar = 997
 // It exceeds every threshold in either mode.
 const sigMissingFar = 1 << 30
 
+// sigMissingFarMean is meanDistance's sentinel for a missing signature.
+// Returning float32(sigMissingFar) from a float32 function relied on 1<<30
+// being a power of two (exactly representable); any future tweak to the int
+// sentinel would round silently and could collide with a real distance.
+// math.MaxFloat32 is explicit, finite (it sorts and compares like a number,
+// unlike +Inf/NaN) and strictly larger than any real distance, so a missing
+// signature can never rank ahead of a genuine candidate.
+const sigMissingFarMean = float32(math.MaxFloat32)
+
 // signature computes the representative's signature. For QGram entries are
 // 0/1 presence flags; for WGram they are first-occurrence positions with
 // wgramAbsent standing in for "absent".
 func (gs gramSet) signature(read dna.Seq) []int32 {
+	var sc sigScratch
+	return gs.signatureScratch(read, &sc)
+}
+
+// signatureScratch is signature with the first-occurrence table drawn from
+// per-worker scratch. The returned signature is always freshly allocated
+// (callers retain signatures across the whole round); only the internal
+// table is reused, so results are bit-identical to signature.
+func (gs gramSet) signatureScratch(read dna.Seq, sc *sigScratch) []int32 {
 	sig := make([]int32, len(gs.grams))
 	if gs.q <= maxRollingQ {
-		table := gs.firstOccurrences(read)
+		table := gs.firstOccurrencesInto(read, sc)
 		for i, code := range gs.codes {
 			pos := table[code]
 			if gs.mode == QGram {
@@ -194,7 +235,9 @@ func (gs gramSet) distance(a, b []int32) int {
 // first-occurrence, with one-sided absence penalized.
 func (gs gramSet) meanDistance(sig []int32, mean []float32) float32 {
 	if sig == nil || mean == nil {
-		return sigMissingFar
+		// Missing evidence: the sentinel must beat every real candidate in
+		// the sweep's nearest-first sort, so the straggler never merges on it.
+		return sigMissingFarMean
 	}
 	var d float32
 	if gs.mode == QGram {

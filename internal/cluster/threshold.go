@@ -34,6 +34,9 @@ func autoEditThreshold(reads []dna.Seq, readLen int, rng *xrand.RNG) int {
 	probes := perm[:nProbe]
 	sample := perm[len(perm)-nSample:]
 
+	// Calibration is serial, so one scratch serves every comparison.
+	var es edit.Scratch
+
 	// Phase 1: the different-strand distance median needs only a modest
 	// number of pairs.
 	var all []int
@@ -43,7 +46,7 @@ func autoEditThreshold(reads []dna.Seq, readLen int, rng *xrand.RNG) int {
 			if pi == sj {
 				continue
 			}
-			d, ok := edit.Within(reads[pi], reads[sj], bound)
+			d, ok := es.Within(reads[pi], reads[sj], bound)
 			if !ok {
 				d = bound
 			}
@@ -66,7 +69,7 @@ func autoEditThreshold(reads []dna.Seq, readLen int, rng *xrand.RNG) int {
 			if pi == sj {
 				continue
 			}
-			if d, ok := edit.Within(reads[pi], reads[sj], nn-1); ok {
+			if d, ok := es.Within(reads[pi], reads[sj], nn-1); ok {
 				nn = d
 			}
 			if nn <= 2 {
@@ -128,13 +131,15 @@ func AutoThresholds(reads []dna.Seq, grams gramSet, rng *xrand.RNG) (thetaLow, t
 	probes := perm[:nProbe]
 	sample := perm[len(perm)-nSample:]
 
+	// Serial calibration: one first-occurrence table serves all signatures.
+	var sc sigScratch
 	probeSigs := make([][]int32, nProbe)
 	for i, idx := range probes {
-		probeSigs[i] = grams.signature(reads[idx])
+		probeSigs[i] = grams.signatureScratch(reads[idx], &sc)
 	}
 	sampleSigs := make([][]int32, nSample)
 	for i, idx := range sample {
-		sampleSigs[i] = grams.signature(reads[idx])
+		sampleSigs[i] = grams.signatureScratch(reads[idx], &sc)
 	}
 
 	maxD := 0

@@ -4,20 +4,62 @@
 // throughout DNA storage (§II-E): clustering merges reads that are close in
 // edit distance, and its cost is exactly why the clustering module works so
 // hard to avoid computing it (§VI-A).
+//
+// The kernels come in two forms. The package-level functions allocate their
+// DP tables per call and are convenient for one-off comparisons. Hot paths —
+// clustering confirmation, the straggler sweep, threshold calibration — run
+// millions of comparisons, so they thread a Scratch through instead: the
+// Scratch owns flat backing arrays that are grown once and reused across
+// calls, taking the per-comparison allocation count to zero after warmup.
 package edit
 
 import "dnastore/internal/dna"
+
+// Scratch holds reusable DP buffers for the kernels in this package. The
+// zero value is ready to use; buffers grow on demand and are never shrunk.
+// A Scratch must not be shared between goroutines: parallel callers hold one
+// Scratch per worker (see internal/cluster and internal/recon).
+type Scratch struct {
+	prev []int // DP row (Levenshtein) / band row (Within)
+	cur  []int
+	dp   []int // full table for Align traceback
+	ops  []Op  // traceback output buffer, handed out by Align
+}
+
+// rows returns two int slices of length n backed by the scratch, zeroing
+// nothing (callers overwrite every cell they read).
+func (s *Scratch) rows(n int) (prev, cur []int) {
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.cur = make([]int, n)
+	}
+	return s.prev[:n], s.cur[:n]
+}
+
+// table returns an int slice of length n backed by the scratch.
+func (s *Scratch) table(n int) []int {
+	if cap(s.dp) < n {
+		s.dp = make([]int, n)
+	}
+	return s.dp[:n]
+}
 
 // Levenshtein returns the edit distance between a and b: the minimum number
 // of single-base insertions, deletions and substitutions transforming one
 // into the other. O(len(a)·len(b)) time, O(min) space.
 func Levenshtein(a, b dna.Seq) int {
+	var s Scratch
+	return s.Levenshtein(a, b)
+}
+
+// Levenshtein is the scratch-reusing form of the package-level Levenshtein;
+// results are bit-identical.
+func (s *Scratch) Levenshtein(a, b dna.Seq) int {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
 	// b is now the shorter sequence; one row of len(b)+1.
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	prev, cur := s.rows(len(b) + 1)
 	for j := range prev {
 		prev[j] = j
 	}
@@ -48,6 +90,13 @@ func Levenshtein(a, b dna.Seq) int {
 // O(k·min(len)) time, which is what makes edit-distance confirmation during
 // clustering affordable.
 func Within(a, b dna.Seq, k int) (int, bool) {
+	var s Scratch
+	return s.Within(a, b, k)
+}
+
+// Within is the scratch-reusing form of the package-level Within; results
+// are bit-identical.
+func (s *Scratch) Within(a, b dna.Seq, k int) (int, bool) {
 	if k < 0 {
 		return 0, false
 	}
@@ -61,11 +110,17 @@ func Within(a, b dna.Seq, k int) (int, bool) {
 	if lb == 0 {
 		return la, la <= k
 	}
+	// The distance can never exceed max(la, lb), so a larger caller-supplied
+	// threshold buys nothing — clamp it before sizing the band. Without the
+	// clamp a hostile k (fuzzers reach this with k up to 1<<30) would size a
+	// 2k+1 band: gigabytes of allocation, or integer overflow in the width.
+	if m := max(la, lb); k > m {
+		k = m
+	}
 	// Band of width 2k+1 around the diagonal.
 	const inf = 1 << 30
 	width := 2*k + 1
-	prev := make([]int, width)
-	cur := make([]int, width)
+	prev, cur := s.rows(width)
 	// prev corresponds to row i=0: D(0, j) = j for j in [0..k].
 	for d := 0; d < width; d++ {
 		j := 0 - k + d
@@ -158,12 +213,21 @@ func (o Op) String() string {
 // Ties are broken to prefer Match/Sub over indels, which concentrates gaps
 // and matches how wetlab error profiles are usually tabulated.
 func Align(a, b dna.Seq) ([]Op, int) {
+	var s Scratch
+	return s.Align(a, b)
+}
+
+// Align is the scratch-reusing form of the package-level Align; results are
+// bit-identical. The returned op slice is backed by the scratch and is only
+// valid until the next Align call on the same Scratch; callers that need to
+// retain it across calls must copy it.
+func (s *Scratch) Align(a, b dna.Seq) ([]Op, int) {
 	la, lb := len(a), len(b)
 	// Full DP table for traceback; clustering only aligns short reads so the
 	// quadratic memory is acceptable.
 	rows := la + 1
 	cols := lb + 1
-	dp := make([]int, rows*cols)
+	dp := s.table(rows * cols)
 	for j := 0; j < cols; j++ {
 		dp[j] = j
 	}
@@ -186,7 +250,10 @@ func Align(a, b dna.Seq) ([]Op, int) {
 		}
 	}
 	// Traceback, preferring diagonal moves on ties.
-	ops := make([]Op, 0, la+lb)
+	if cap(s.ops) < la+lb {
+		s.ops = make([]Op, 0, la+lb)
+	}
+	ops := s.ops[:0]
 	i, j := la, lb
 	for i > 0 || j > 0 {
 		switch {
@@ -224,6 +291,7 @@ func Align(a, b dna.Seq) ([]Op, int) {
 	for l, r := 0, len(ops)-1; l < r; l, r = l+1, r-1 {
 		ops[l], ops[r] = ops[r], ops[l]
 	}
+	s.ops = ops[:0]
 	return ops, dp[la*cols+lb]
 }
 

@@ -63,6 +63,11 @@ func (b BMA) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
 func bmaForward(reads []dna.Seq, targetLen int, w int) dna.Seq {
 	ptr := make([]int, len(reads))
 	out := make(dna.Seq, 0, targetLen)
+	// Lookahead buffers, reused across consensus positions: the predicted
+	// upcoming consensus and the insertion-hypothesis window. Allocating them
+	// inside the loop costs O(targetLen · disagreeing reads) allocations.
+	future := make([]dna.Base, w)
+	insBuf := make(dna.Seq, w)
 	for len(out) < targetLen {
 		// Majority vote at the current pointers.
 		var votes [dna.NumBases]int
@@ -85,7 +90,6 @@ func bmaForward(reads []dna.Seq, targetLen int, w int) dna.Seq {
 		// Predicted upcoming consensus: per-offset majority over the reads
 		// that agree with the vote (their next bases), falling back to all
 		// active reads when nobody agrees.
-		future := make([]dna.Base, w)
 		for k := 0; k < w; k++ {
 			var fv [dna.NumBases]int
 			any := false
@@ -128,8 +132,9 @@ func bmaForward(reads []dna.Seq, targetLen int, w int) dna.Seq {
 			// aligns the read's remaining bases differently against it.
 			subScore := matchScore(read, p+1, future)
 			delScore := matchScore(read, p, future)
-			insSeq := append(dna.Seq{best}, future[:len(future)-1]...)
-			insScore := matchScore(read, p+1, insSeq)
+			insBuf[0] = best
+			copy(insBuf[1:], future[:w-1])
+			insScore := matchScore(read, p+1, insBuf)
 			switch {
 			case subScore >= delScore && subScore >= insScore:
 				ptr[r] = p + 1 // substitution: consume the wrong base
@@ -272,6 +277,14 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 			// not kill the process — the worker's remaining clusters stay
 			// nil, which the decoder treats as erasures.
 			defer func() { _ = recover() }()
+			// Each worker owns one POA graph: the NW algorithm reuses its DP
+			// scratch and node storage across every cluster this worker
+			// reconstructs, instead of allocating fresh tables per cluster.
+			// The graph is never shared — see DESIGN.md "Performance".
+			var g *align.Graph
+			if _, ok := algo.(NW); ok {
+				g = align.NewGraph()
+			}
 			for i := w; i < len(clusters); i += workers {
 				if stop.Load() {
 					return
@@ -281,7 +294,7 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 					return
 				}
 				if len(clusters[i]) > 0 {
-					out[i] = reconstructOne(algo, clusters[i], targetLen)
+					out[i] = reconstructOne(algo, g, clusters[i], targetLen)
 				}
 			}
 		}(w)
@@ -295,12 +308,18 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 
 // reconstructOne guards a single consensus computation: a panicking
 // Algorithm yields a nil consensus (an erasure for the outer code, §IV)
-// instead of crashing the process.
-func reconstructOne(algo Algorithm, cluster []dna.Seq, targetLen int) (out dna.Seq) {
+// instead of crashing the process. When the caller supplies a per-worker
+// graph (the NW fast path), consensus goes through Graph.ConsensusOf so the
+// graph's scratch is reused; a panic mid-alignment is safe because
+// ConsensusOf begins with a Reset that discards any half-built state.
+func reconstructOne(algo Algorithm, g *align.Graph, cluster []dna.Seq, targetLen int) (out dna.Seq) {
 	defer func() {
 		if recover() != nil {
 			out = nil
 		}
 	}()
+	if g != nil {
+		return g.ConsensusOf(cluster, targetLen)
+	}
 	return algo.Reconstruct(cluster, targetLen)
 }
