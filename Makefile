@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt lint fuzz-smoke bench bench-json bench-smoke experiments experiments-quick examples clean
+.PHONY: all build test test-short race vet fmt lint fuzz-smoke bench bench-json bench-smoke bench-compare experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -42,6 +42,7 @@ fuzz-smoke:
 	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeFile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fastq -run '^$$' -fuzz '^FuzzFastqParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/edit -run '^$$' -fuzz '^FuzzLevenshtein$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/edit -run '^$$' -fuzz '^FuzzMyersVsDP$$' -fuzztime $(FUZZTIME)
 
 # Microbenchmarks in every package plus the table/figure reproduction
 # benchmarks at the repository root.
@@ -51,7 +52,7 @@ bench:
 # Stage-throughput harness: strands/sec, bytes/sec and allocs/op per
 # pipeline stage, with the frozen seed kernels as the allocation baseline.
 # Emits the BENCH_*.json trajectory the ROADMAP re-anchor reads.
-BENCH_JSON ?= BENCH_pr3.json
+BENCH_JSON ?= BENCH_pr4.json
 bench-json:
 	$(GO) run ./cmd/experiments -run throughput -bench-json $(BENCH_JSON)
 
@@ -59,6 +60,14 @@ bench-json:
 # regressions while still uploading a comparable artifact.
 bench-smoke:
 	$(GO) run ./cmd/experiments -run throughput -quick -bench-json $(BENCH_JSON)
+
+# Diff the freshly measured bench JSON against the committed previous one:
+# fails on a >20% strands/sec drop in any stage when the two runs share a
+# config, warns (exit 0) when they don't (e.g. quick CI run vs the committed
+# full-scale baseline). CI runs this as a non-blocking step.
+BENCH_PREV ?= BENCH_pr3.json
+bench-compare:
+	$(GO) run ./cmd/benchcompare -old $(BENCH_PREV) -new $(BENCH_JSON)
 
 # Regenerate every table and figure of the paper at full scale.
 experiments:

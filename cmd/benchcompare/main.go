@@ -1,0 +1,112 @@
+// Command benchcompare diffs two stage-throughput JSON files (the
+// BENCH_*.json trajectory emitted by cmd/experiments -bench-json) and fails
+// on throughput regressions.
+//
+// Usage:
+//
+//	go run ./cmd/benchcompare -old BENCH_pr3.json -new BENCH_pr4.json
+//	go run ./cmd/benchcompare -old ... -new ... -max-regression 0.10
+//
+// When the two files were measured under the same ThroughputConfig, any
+// stage whose strands/sec (items/sec for stages without a strand rate)
+// dropped by more than -max-regression, and any stage present in the old
+// file but missing from the new one, is a failure. When the configs differ —
+// e.g. a full-scale committed baseline against a CI quick run — the numbers
+// are not comparable, so the diff is printed as a warning and the exit code
+// stays 0 (CI runs this as a non-blocking step either way).
+//
+// Exit codes: 0 ok (or incomparable configs), 1 regression, 2 usage/IO error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dnastore/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	oldPath := flag.String("old", "", "baseline BENCH_*.json (required)")
+	newPath := flag.String("new", "", "candidate BENCH_*.json (required)")
+	maxReg := flag.Float64("max-regression", 0.20, "maximum tolerated fractional throughput drop per stage")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -old and -new are both required")
+		flag.Usage()
+		return 2
+	}
+	oldRes, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		return 2
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		return 2
+	}
+
+	comparable := oldRes.Config == newRes.Config
+	if !comparable {
+		fmt.Printf("benchcompare: configs differ (old %+v, new %+v) — rates not comparable, reporting only\n",
+			oldRes.Config, newRes.Config)
+	}
+
+	failed := false
+	fmt.Printf("%-16s %14s %14s %9s\n", "stage", "old rate/s", "new rate/s", "delta")
+	for _, oldStage := range oldRes.Stages {
+		newStage := newRes.Stage(oldStage.Stage)
+		if newStage.Stage == "" {
+			fmt.Printf("%-16s %14.0f %14s %9s  MISSING from new result\n", oldStage.Stage, rate(oldStage), "-", "-")
+			failed = true
+			continue
+		}
+		oldRate, newRate := rate(oldStage), rate(newStage)
+		if oldRate <= 0 {
+			continue
+		}
+		delta := newRate/oldRate - 1
+		mark := ""
+		if delta < -*maxReg {
+			mark = fmt.Sprintf("  REGRESSION beyond %.0f%%", *maxReg*100)
+			failed = true
+		}
+		fmt.Printf("%-16s %14.0f %14.0f %+8.1f%%%s\n", oldStage.Stage, oldRate, newRate, delta*100, mark)
+	}
+	if failed {
+		if !comparable {
+			fmt.Println("benchcompare: differences found, but configs are incomparable — treating as warning")
+			return 0
+		}
+		return 1
+	}
+	fmt.Println("benchcompare: ok")
+	return 0
+}
+
+// rate picks the stage's headline throughput: strands/sec where the stage
+// has one, items/sec otherwise (e.g. the pair-based edit-distance stage).
+func rate(s bench.StageStat) float64 {
+	if s.StrandsPerSec > 0 {
+		return s.StrandsPerSec
+	}
+	return s.ItemsPerSec
+}
+
+func load(path string) (bench.ThroughputResult, error) {
+	var r bench.ThroughputResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

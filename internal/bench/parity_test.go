@@ -46,6 +46,14 @@ func TestEditKernelParityWithSeed(t *testing.T) {
 		if gd != wd || gok != wok {
 			t.Fatalf("Within(%v,%v,%d) = (%d,%v), seed (%d,%v)", a, b, k, gd, gok, wd, wok)
 		}
+		// Bit-parallel kernels, held to the same frozen seed implementations.
+		if got, want := s.LevenshteinBP(a, b), refLevenshtein(a, b); got != want {
+			t.Fatalf("LevenshteinBP(%v,%v) = %d, seed %d", a, b, got, want)
+		}
+		bd, bok := s.WithinBP(a, b, k)
+		if bd != wd || bok != wok {
+			t.Fatalf("WithinBP(%v,%v,%d) = (%d,%v), seed (%d,%v)", a, b, k, bd, bok, wd, wok)
+		}
 		gops, gc := s.Align(a, b)
 		wops, wc := refAlign(a, b)
 		if gc != wc || len(gops) != len(wops) {
@@ -134,5 +142,16 @@ func TestThroughputQuick(t *testing.T) {
 	ed := res.Stage("edit-distance")
 	if ed.AllocsPerOp > 0.5 {
 		t.Errorf("edit-distance scratch kernel allocates %.1f/op, want ~0", ed.AllocsPerOp)
+	}
+	if len(res.EditKernels) != 3 {
+		t.Fatalf("edit-kernel microbench has %d rows, want 3", len(res.EditKernels))
+	}
+	for _, e := range res.EditKernels {
+		if !e.Agree {
+			t.Errorf("edit kernels disagree at read length %d", e.ReadLen)
+		}
+		if e.DPPairsPerSec <= 0 || e.BPPairsPerSec <= 0 {
+			t.Errorf("edit-kernel row at length %d has zero rate", e.ReadLen)
+		}
 	}
 }

@@ -141,7 +141,7 @@ func RenderFig6(w io.Writer, r Fig6Result) {
 		}
 		fmt.Fprintf(w, "%8s", fmt.Sprintf("%d-%d", b, hi-1))
 	}
-	fmt.Fprintf(w, "%10s%10s\n", "peak", "perfect")
+	fmt.Fprintf(w, "%10s%10s%10s\n", "peak", "perfect", "mean-ed")
 	for _, name := range r.Names {
 		p := r.Profiles[name]
 		fmt.Fprintf(w, "%-18s", name)
@@ -156,7 +156,7 @@ func RenderFig6(w io.Writer, r Fig6Result) {
 			}
 			fmt.Fprintf(w, "%8.2f", 100*s/float64(hi-b))
 		}
-		fmt.Fprintf(w, "%10.2f%10d\n", 100*r.Peak(name), r.Perfect[name])
+		fmt.Fprintf(w, "%10.2f%10d%10.2f\n", 100*r.Peak(name), r.Perfect[name], r.MeanEdit[name])
 	}
 }
 

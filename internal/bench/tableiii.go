@@ -34,11 +34,15 @@ func QuickFig6() Fig6Config {
 	return c
 }
 
-// Fig6Result holds the per-index profiles keyed by algorithm name.
+// Fig6Result holds the per-index profiles keyed by algorithm name. MeanEdit
+// is the mean reference↔reconstruction edit distance — the profile charges a
+// single indel at every downstream index, so the two metrics together
+// separate shift errors from substitution errors.
 type Fig6Result struct {
 	Names    []string
 	Profiles map[string][]float64
 	Perfect  map[string]int
+	MeanEdit map[string]float64
 }
 
 // Peak returns the maximum per-index error of the named algorithm.
@@ -64,12 +68,13 @@ func Fig6(cfg Fig6Config) Fig6Result {
 			clusters[i] = append(clusters[i], ch.Transmit(rng, refs[i]))
 		}
 	}
-	res := Fig6Result{Profiles: map[string][]float64{}, Perfect: map[string]int{}}
+	res := Fig6Result{Profiles: map[string][]float64{}, Perfect: map[string]int{}, MeanEdit: map[string]float64{}}
 	for _, algo := range []recon.Algorithm{recon.BMA{}, recon.DoubleSidedBMA{}, recon.NW{}} {
 		recons := recon.ReconstructAll(clusters, cfg.StrandLen, algo, 0)
 		res.Names = append(res.Names, algo.Name())
 		res.Profiles[algo.Name()] = recon.ErrorProfile(refs, recons, cfg.StrandLen)
 		res.Perfect[algo.Name()] = recon.PerfectCount(refs, recons)
+		res.MeanEdit[algo.Name()] = recon.MeanEditDistance(refs, recons)
 	}
 	return res
 }

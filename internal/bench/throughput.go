@@ -65,6 +65,20 @@ type StageStat struct {
 	AllocRatio      float64 `json:"alloc_ratio,omitempty"`
 }
 
+// EditKernelStat is one row of the edit-kernel microbench: the DP and
+// bit-parallel Within kernels timed head-to-head on an identical workload of
+// mutated read pairs at one read length, with their verdicts cross-checked
+// on the same pairs (Agree).
+type EditKernelStat struct {
+	ReadLen       int     `json:"read_len"`
+	K             int     `json:"k"`
+	Pairs         int     `json:"pairs"`
+	DPPairsPerSec float64 `json:"dp_pairs_per_sec"`
+	BPPairsPerSec float64 `json:"bp_pairs_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	Agree         bool    `json:"agree"`
+}
+
 // ThroughputResult is the full harness output; it marshals directly into
 // BENCH_*.json via cmd/experiments -bench-json.
 type ThroughputResult struct {
@@ -72,6 +86,7 @@ type ThroughputResult struct {
 	GoMaxProcs         int              `json:"gomaxprocs"`
 	GoVersion          string           `json:"go_version"`
 	Stages             []StageStat      `json:"stages"`
+	EditKernels        []EditKernelStat `json:"edit_kernels,omitempty"`
 	ConsensusIdentical bool             `json:"consensus_identical"`
 }
 
@@ -196,6 +211,9 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	st.AllocRatio = ratio(st.SeedAllocsPerOp, st.AllocsPerOp)
 	res.Stages = append(res.Stages, st)
 
+	// --- edit-kernel microbench (DP vs bit-parallel) ---
+	res.EditKernels = editKernelBench(cfg)
+
 	// --- cluster ---
 	clusterOpts := cluster.Options{Seed: cfg.Seed + 3}
 	var clusterRes cluster.Result
@@ -266,6 +284,64 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	return res
 }
 
+// editKernelBench times WithinDP and WithinBP head-to-head at representative
+// read lengths on identical workloads (same pool, same pair sequence, same
+// threshold k = len/4 — the one the clustering hot path uses). These rows are
+// the source of the measured-speedup numbers in EXPERIMENTS.md; Agree
+// cross-checks both kernels' verdicts on the first pairs of the workload.
+func editKernelBench(cfg ThroughputConfig) []EditKernelStat {
+	rng := xrand.New(cfg.Seed + 9)
+	pairs := cfg.Strands * 5
+	var es edit.Scratch
+	var out []EditKernelStat
+	for _, n := range []int{64, 150, 300} {
+		k := n / 4
+		// Mutated copies of one base strand: mostly-similar pairs, like the
+		// confirmation pass sees inside a partition.
+		const poolSize = 64
+		pool := make([]dna.Seq, poolSize)
+		base := dna.Random(rng, n)
+		for i := range pool {
+			s := base.Clone()
+			for e := 0; e < n/20+1; e++ {
+				s[rng.Intn(n)] = dna.Base(rng.Intn(4))
+			}
+			pool[i] = s
+		}
+		bench := func(f func(a, b dna.Seq, k int) (int, bool)) StageStat {
+			return timeStage("edit-kernel", "pair", pairs, 0, 0, func() {
+				prng := xrand.New(cfg.Seed + 11)
+				for i := 0; i < pairs; i++ {
+					f(pool[prng.Intn(poolSize)], pool[prng.Intn(poolSize)], k)
+				}
+			})
+		}
+		dp := bench(es.WithinDP)
+		bp := bench(es.WithinBP)
+		agree := true
+		prng := xrand.New(cfg.Seed + 11)
+		for i := 0; i < 200; i++ {
+			a, b := pool[prng.Intn(poolSize)], pool[prng.Intn(poolSize)]
+			dd, dok := es.WithinDP(a, b, k)
+			bd, bok := es.WithinBP(a, b, k)
+			if dd != bd || dok != bok {
+				agree = false
+				break
+			}
+		}
+		out = append(out, EditKernelStat{
+			ReadLen:       n,
+			K:             k,
+			Pairs:         pairs,
+			DPPairsPerSec: dp.ItemsPerSec,
+			BPPairsPerSec: bp.ItemsPerSec,
+			Speedup:       bp.ItemsPerSec / maxf(dp.ItemsPerSec, 1e-9),
+			Agree:         agree,
+		})
+	}
+	return out
+}
+
 func largestCluster(clusters [][]dna.Seq) []dna.Seq {
 	var best []dna.Seq
 	for _, cl := range clusters {
@@ -309,6 +385,15 @@ func RenderThroughput(w io.Writer, r ThroughputResult) {
 		}
 		fmt.Fprintf(w, "%-16s %10d %14.0f %14.0f %14.0f %12.1f %12s %8s\n",
 			s.Stage, s.Items, s.ItemsPerSec, s.StrandsPerSec, s.BytesPerSec, s.AllocsPerOp, seedCol, ratioCol)
+	}
+	if len(r.EditKernels) > 0 {
+		fmt.Fprintf(w, "\nEDIT KERNELS — DP vs bit-parallel Within, k = len/4\n")
+		fmt.Fprintf(w, "%-8s %6s %8s %14s %14s %9s %6s\n",
+			"readlen", "k", "pairs", "dp pairs/s", "bp pairs/s", "speedup", "agree")
+		for _, e := range r.EditKernels {
+			fmt.Fprintf(w, "%-8d %6d %8d %14.0f %14.0f %8.1fx %6v\n",
+				e.ReadLen, e.K, e.Pairs, e.DPPairsPerSec, e.BPPairsPerSec, e.Speedup, e.Agree)
+		}
 	}
 	fmt.Fprintf(w, "consensus byte-identical to seed implementation: %v\n", r.ConsensusIdentical)
 }

@@ -207,7 +207,7 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 	thetaLow, thetaHigh := o.ThetaLow, o.ThetaHigh
 	if thetaLow == 0 && thetaHigh == 0 {
 		cfgGrams := newGramSet(xrand.Derive(o.Seed, 0xc0f1), o.Mode, o.NumGrams, o.GramLen)
-		thetaLow, thetaHigh, _ = AutoThresholds(reads, cfgGrams, xrand.Derive(o.Seed, 0xc0f2))
+		thetaLow, thetaHigh, _ = autoThresholds(ctx, reads, cfgGrams, xrand.Derive(o.Seed, 0xc0f2), o.Workers)
 	}
 	stats.ThetaLow, stats.ThetaHigh = thetaLow, thetaHigh
 	if o.EditThreshold == 0 {

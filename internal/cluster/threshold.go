@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 
 	"dnastore/internal/dna"
@@ -119,6 +120,20 @@ func AutoThresholdsDefault(reads []dna.Seq, seed uint64) (thetaLow, thetaHigh in
 //
 // The returned histogram (indexed by distance) is what Fig. 5 plots.
 func AutoThresholds(reads []dna.Seq, grams gramSet, rng *xrand.RNG) (thetaLow, thetaHigh int, hist []int) {
+	//dnalint:allow ctxflow -- exported convenience entry point, callers without a context get the uncancellable form
+	return autoThresholds(context.Background(), reads, grams, rng, 1)
+}
+
+// autoThresholds is the worker-parallel calibration behind AutoThresholds.
+// The sampling permutation is drawn serially before any goroutine starts and
+// the per-probe distance rows are merged back in probe order, so thresholds
+// and histogram are bit-identical for every worker count (pinned by
+// TestAutoThresholdsParallelDeterministic). Each worker owns one sigScratch
+// slot, per the scratch ownership rules in DESIGN.md.
+func autoThresholds(ctx context.Context, reads []dna.Seq, grams gramSet, rng *xrand.RNG, workers int) (thetaLow, thetaHigh int, hist []int) {
+	if workers < 1 {
+		workers = 1
+	}
 	nProbe := 64
 	if nProbe > len(reads) {
 		nProbe = len(reads)
@@ -131,27 +146,54 @@ func AutoThresholds(reads []dna.Seq, grams gramSet, rng *xrand.RNG) (thetaLow, t
 	probes := perm[:nProbe]
 	sample := perm[len(perm)-nSample:]
 
-	// Serial calibration: one first-occurrence table serves all signatures.
-	var sc sigScratch
+	// Signature pass: every signature is independent, so probes and sample
+	// share one indexed loop; results land at their own index.
+	scs := make([]sigScratch, workers)
 	probeSigs := make([][]int32, nProbe)
-	for i, idx := range probes {
-		probeSigs[i] = grams.signatureScratch(reads[idx], &sc)
-	}
 	sampleSigs := make([][]int32, nSample)
-	for i, idx := range sample {
-		sampleSigs[i] = grams.signatureScratch(reads[idx], &sc)
-	}
+	parallelForCtxW(ctx, workers, nProbe+nSample, func(w, i int) {
+		if i < nProbe {
+			probeSigs[i] = grams.signatureScratch(reads[probes[i]], &scs[w])
+		} else {
+			sampleSigs[i-nProbe] = grams.signatureScratch(reads[sample[i-nProbe]], &scs[w])
+		}
+	})
 
+	// Distance pass: one row per probe. Rows are pre-filled with the "no
+	// evidence" sentinel so a panic-contained or cancelled row item reads as
+	// skipped rather than as a spurious distance-0 pair; nil signatures
+	// (same origin) are skipped for the same reason — their 1<<30 sentinel
+	// would otherwise size the histogram.
+	rows := make([]int, nProbe*nSample)
+	for i := range rows {
+		rows[i] = -1
+	}
+	parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
+		row := rows[i*nSample : (i+1)*nSample]
+		pi := probes[i]
+		psig := probeSigs[i]
+		if psig == nil {
+			return
+		}
+		for j, sj := range sample {
+			if pi == sj || sampleSigs[j] == nil {
+				continue
+			}
+			row[j] = grams.distance(psig, sampleSigs[j])
+		}
+	})
+
+	// Serial merge in probe order: identical dists/maxD/nearest to the
+	// serial pass regardless of how the rows were scheduled.
 	maxD := 0
 	var dists []int
 	nearest := make([]int, 0, nProbe)
-	for i, pi := range probes {
+	for i := range probes {
 		nn := 1 << 30
-		for j, sj := range sample {
-			if pi == sj {
+		for _, d := range rows[i*nSample : (i+1)*nSample] {
+			if d < 0 {
 				continue
 			}
-			d := grams.distance(probeSigs[i], sampleSigs[j])
 			dists = append(dists, d)
 			if d > maxD {
 				maxD = d

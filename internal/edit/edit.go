@@ -11,6 +11,14 @@
 // millions of comparisons, so they thread a Scratch through instead: the
 // Scratch owns flat backing arrays that are grown once and reused across
 // calls, taking the per-comparison allocation count to zero after warmup.
+//
+// Two kernel families implement the distance: the classic DP (LevenshteinDP,
+// WithinDP — the reference implementation) and the bit-parallel Myers
+// kernels in myers.go (LevenshteinBP, WithinBP — 64 DP cells per machine
+// word). Levenshtein and Within are dispatchers that pick whichever is
+// profitable for the input shape; both families return identical distances
+// and verdicts on every input (proved by the parity tests and the
+// FuzzMyersVsDP differential fuzzer).
 package edit
 
 import "dnastore/internal/dna"
@@ -24,6 +32,11 @@ type Scratch struct {
 	cur  []int
 	dp   []int // full table for Align traceback
 	ops  []Op  // traceback output buffer, handed out by Align
+
+	// Bit-parallel state (myers.go): per-base Peq block masks and the
+	// VP/VN block vectors of the blocked Myers kernel.
+	peq      [dna.NumBases][]uint64
+	bvp, bvn []uint64
 }
 
 // rows returns two int slices of length n backed by the scratch, zeroing
@@ -46,15 +59,27 @@ func (s *Scratch) table(n int) []int {
 
 // Levenshtein returns the edit distance between a and b: the minimum number
 // of single-base insertions, deletions and substitutions transforming one
-// into the other. O(len(a)·len(b)) time, O(min) space.
+// into the other.
 func Levenshtein(a, b dna.Seq) int {
 	var s Scratch
 	return s.Levenshtein(a, b)
 }
 
 // Levenshtein is the scratch-reusing form of the package-level Levenshtein;
-// results are bit-identical.
+// results are bit-identical. It dispatches to the bit-parallel kernel,
+// which beats the row DP at every length (64 cells per word-step); the DP
+// stays reachable as LevenshteinDP.
 func (s *Scratch) Levenshtein(a, b dna.Seq) int {
+	if len(a) < bpMinPattern && len(b) < bpMinPattern {
+		return s.LevenshteinDP(a, b)
+	}
+	return s.LevenshteinBP(a, b)
+}
+
+// LevenshteinDP is the reference row-DP edit distance: O(len(a)·len(b))
+// time, O(min) space. The dispatcher uses it for tiny inputs; parity tests
+// and the differential fuzzer hold the bit-parallel kernels to it.
+func (s *Scratch) LevenshteinDP(a, b dna.Seq) int {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
@@ -86,17 +111,30 @@ func (s *Scratch) Levenshtein(a, b dna.Seq) int {
 }
 
 // Within reports whether the edit distance between a and b is at most k, and
-// returns the distance when it is. It runs the banded (Ukkonen) algorithm in
-// O(k·min(len)) time, which is what makes edit-distance confirmation during
-// clustering affordable.
+// returns the distance when it is. This is what makes edit-distance
+// confirmation during clustering affordable: the kernel never does the full
+// quadratic work when the answer is "not within".
 func Within(a, b dna.Seq, k int) (int, bool) {
 	var s Scratch
 	return s.Within(a, b, k)
 }
 
 // Within is the scratch-reusing form of the package-level Within; results
-// are bit-identical.
+// are bit-identical. It dispatches between the banded DP (narrow bands,
+// tiny inputs) and the thresholded bit-parallel kernel (everything else);
+// the two return identical distances and verdicts on every input.
 func (s *Scratch) Within(a, b dna.Seq, k int) (int, bool) {
+	if bpWithinProfitable(len(a), len(b), k) {
+		return s.WithinBP(a, b, k)
+	}
+	return s.WithinDP(a, b, k)
+}
+
+// WithinDP is the reference banded (Ukkonen) threshold check, O(k·min(len))
+// time. The dispatcher uses it when the band is only a few cells per
+// bit-parallel word-step; parity tests and the differential fuzzer hold
+// WithinBP to it.
+func (s *Scratch) WithinDP(a, b dna.Seq, k int) (int, bool) {
 	if k < 0 {
 		return 0, false
 	}

@@ -84,3 +84,36 @@ func FuzzLevenshtein(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMyersVsDP is the differential fuzzer for the bit-parallel kernels: on
+// arbitrary sequence pairs and thresholds, LevenshteinBP must equal the DP
+// distance and WithinBP must return exactly WithinDP's (distance, verdict).
+// k is a uint16 so the fuzzer reaches thresholds beyond any real distance
+// (the kernels clamp internally); lengths up to fuzzSeq's cap cross the
+// single-word/blocked boundary at 64.
+func FuzzMyersVsDP(f *testing.F) {
+	f.Add([]byte("ACGT"), []byte("ACCT"), uint16(2))
+	f.Add([]byte{}, []byte("TTTT"), uint16(1))
+	f.Add([]byte("GATTACAGATTACAGATTACAGATTACAGATTACAGATTACAGATTACAGATTACAGATTACAGATTACA"),
+		[]byte("GCATGCTGCATGCTGCATGCTGCATGCTGCATGCTGCATGCTGCATGCTGCATGCTGCATGCTGCATGCT"), uint16(30))
+	f.Add([]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"),
+		[]byte("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAT"), uint16(0))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, k16 uint16) {
+		a, b := fuzzSeq(rawA), fuzzSeq(rawB)
+		var s Scratch
+		want := s.LevenshteinDP(a, b)
+		if got := s.LevenshteinBP(a, b); got != want {
+			t.Fatalf("LevenshteinBP = %d, DP = %d (lens %d,%d)", got, want, len(a), len(b))
+		}
+		k := int(k16)
+		wd, wok := s.WithinDP(a, b, k)
+		bd, bok := s.WithinBP(a, b, k)
+		if wd != bd || wok != bok {
+			t.Fatalf("WithinBP(k=%d) = (%d,%v), WithinDP = (%d,%v) (lens %d,%d)",
+				k, bd, bok, wd, wok, len(a), len(b))
+		}
+		if gd, gok := s.Within(a, b, k); gd != wd || gok != wok {
+			t.Fatalf("Within dispatcher(k=%d) = (%d,%v), DP = (%d,%v)", k, gd, gok, wd, wok)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package recon
 
-import "dnastore/internal/dna"
+import (
+	"dnastore/internal/dna"
+	"dnastore/internal/edit"
+)
 
 // ErrorProfile tabulates the per-index reconstruction error rate across
 // strand pairs: profile[i] is the fraction of strands whose reconstructed
@@ -62,6 +65,28 @@ func MeanAbsDeviation(a, b []float64) float64 {
 		s += d
 	}
 	return s / float64(n)
+}
+
+// MeanEditDistance averages the edit distance between each reference and its
+// reconstruction. Unlike the positional ErrorProfile — where one early indel
+// shifts every later base into "wrong" — it charges an indel exactly once,
+// so it separates "off by one insertion" from "garbage". Distances come from
+// the package-level dispatcher (bit-parallel for real strand lengths), one
+// Scratch amortized across the whole batch.
+func MeanEditDistance(refs, recons []dna.Seq) float64 {
+	n := len(refs)
+	if len(recons) < n {
+		n = len(recons)
+	}
+	if n == 0 {
+		return 0
+	}
+	var s edit.Scratch
+	total := 0
+	for i := 0; i < n; i++ {
+		total += s.Levenshtein(refs[i], recons[i])
+	}
+	return float64(total) / float64(n)
 }
 
 // PerfectCount returns how many strands were reconstructed exactly —

@@ -284,3 +284,26 @@ func TestConsensusWithConfidence(t *testing.T) {
 		t.Fatal("empty cluster should give nil, 0")
 	}
 }
+
+func TestMeanEditDistance(t *testing.T) {
+	refs := []dna.Seq{
+		dna.MustFromString("ACGTACGT"),
+		dna.MustFromString("AAAACCCC"),
+		dna.MustFromString("GGGG"),
+	}
+	recons := []dna.Seq{
+		dna.MustFromString("ACGTACGT"), // exact: 0
+		dna.MustFromString("AAACCCC"),  // one deletion: 1
+		dna.MustFromString("GGTG"),     // one substitution: 1
+	}
+	if got, want := MeanEditDistance(refs, recons), 2.0/3.0; got != want {
+		t.Fatalf("MeanEditDistance = %v, want %v", got, want)
+	}
+	if got := MeanEditDistance(nil, nil); got != 0 {
+		t.Fatalf("empty input should give 0, got %v", got)
+	}
+	// Mismatched lengths: only the common prefix of strand pairs counts.
+	if got := MeanEditDistance(refs[:1], recons); got != 0 {
+		t.Fatalf("single exact pair should give 0, got %v", got)
+	}
+}
