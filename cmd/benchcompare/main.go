@@ -4,16 +4,28 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchcompare -old BENCH_pr3.json -new BENCH_pr4.json
+//	go run ./cmd/benchcompare -old BENCH_pr4.json -new BENCH_pr5.json
 //	go run ./cmd/benchcompare -old ... -new ... -max-regression 0.10
+//	go run ./cmd/benchcompare -old ... -new ... -enforce cluster,edit-kernel
 //
-// When the two files were measured under the same ThroughputConfig, any
-// stage whose strands/sec (items/sec for stages without a strand rate)
-// dropped by more than -max-regression, and any stage present in the old
-// file but missing from the new one, is a failure. When the configs differ —
-// e.g. a full-scale committed baseline against a CI quick run — the numbers
-// are not comparable, so the diff is printed as a warning and the exit code
-// stays 0 (CI runs this as a non-blocking step either way).
+// Three row families are compared: pipeline stages (strands/sec, or
+// items/sec for stages without a strand rate), edit-kernel rows (bit-parallel
+// pairs/sec per read length, plus the DP/BP agreement bit), and — when both
+// files carry a streaming benchmark measured under the same stream config —
+// streaming rows (bytes/sec per archive size, plus the batch byte-identity
+// bit). A row whose rate dropped by more than -max-regression, a row missing
+// from the new file, or a broken correctness bit is a failure.
+//
+// -enforce narrows which failures are *blocking*: a comma-separated list of
+// row-name prefixes (e.g. "cluster,edit-kernel"). With -enforce set, only
+// failures matching a prefix exit 1; everything else is reported as advisory.
+// Without it every failure blocks, as before. CI uses -enforce to promote
+// the clustering and edit-kernel rows to blocking while the remaining rows
+// stay informational.
+//
+// When the two files' configs differ — e.g. a full-scale committed baseline
+// against a CI quick run — the numbers are not comparable, so the diff is
+// printed as a warning and the exit code stays 0.
 //
 // Exit codes: 0 ok (or incomparable configs), 1 regression, 2 usage/IO error.
 package main
@@ -23,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dnastore/internal/bench"
 )
@@ -34,7 +47,8 @@ func main() {
 func run() int {
 	oldPath := flag.String("old", "", "baseline BENCH_*.json (required)")
 	newPath := flag.String("new", "", "candidate BENCH_*.json (required)")
-	maxReg := flag.Float64("max-regression", 0.20, "maximum tolerated fractional throughput drop per stage")
+	maxReg := flag.Float64("max-regression", 0.20, "maximum tolerated fractional throughput drop per row")
+	enforce := flag.String("enforce", "", "comma-separated row-name prefixes whose failures block (default: all rows block)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -old and -new are both required")
@@ -58,36 +72,98 @@ func run() int {
 			oldRes.Config, newRes.Config)
 	}
 
-	failed := false
-	fmt.Printf("%-16s %14s %14s %9s\n", "stage", "old rate/s", "new rate/s", "delta")
+	var failed []string
+	fmt.Printf("%-16s %14s %14s %9s\n", "row", "old rate/s", "new rate/s", "delta")
+	compareRow := func(name string, oldRate, newRate float64, missing bool, broken string) {
+		switch {
+		case missing:
+			fmt.Printf("%-16s %14.0f %14s %9s  MISSING from new result\n", name, oldRate, "-", "-")
+			failed = append(failed, name)
+		case broken != "":
+			fmt.Printf("%-16s %14.0f %14.0f %9s  %s\n", name, oldRate, newRate, "-", broken)
+			failed = append(failed, name)
+		case oldRate > 0:
+			delta := newRate/oldRate - 1
+			mark := ""
+			if delta < -*maxReg {
+				mark = fmt.Sprintf("  REGRESSION beyond %.0f%%", *maxReg*100)
+				failed = append(failed, name)
+			}
+			fmt.Printf("%-16s %14.0f %14.0f %+8.1f%%%s\n", name, oldRate, newRate, delta*100, mark)
+		}
+	}
+
 	for _, oldStage := range oldRes.Stages {
 		newStage := newRes.Stage(oldStage.Stage)
-		if newStage.Stage == "" {
-			fmt.Printf("%-16s %14.0f %14s %9s  MISSING from new result\n", oldStage.Stage, rate(oldStage), "-", "-")
-			failed = true
-			continue
-		}
-		oldRate, newRate := rate(oldStage), rate(newStage)
-		if oldRate <= 0 {
-			continue
-		}
-		delta := newRate/oldRate - 1
-		mark := ""
-		if delta < -*maxReg {
-			mark = fmt.Sprintf("  REGRESSION beyond %.0f%%", *maxReg*100)
-			failed = true
-		}
-		fmt.Printf("%-16s %14.0f %14.0f %+8.1f%%%s\n", oldStage.Stage, oldRate, newRate, delta*100, mark)
+		compareRow(oldStage.Stage, rate(oldStage), rate(newStage), newStage.Stage == "", "")
 	}
-	if failed {
+	for _, oldK := range oldRes.EditKernels {
+		name := fmt.Sprintf("edit-kernel/%d", oldK.ReadLen)
+		newK, ok := kernelAt(newRes, oldK.ReadLen)
+		broken := ""
+		if ok && !newK.Agree {
+			broken = "DP/BP kernels DISAGREE"
+		}
+		compareRow(name, oldK.BPPairsPerSec, newK.BPPairsPerSec, !ok, broken)
+	}
+	switch {
+	case len(oldRes.Streams) == 0:
+		// No streaming baseline: nothing to hold the new file to.
+	case oldRes.StreamConfig == nil || newRes.StreamConfig == nil ||
+		!streamConfigsEqual(*oldRes.StreamConfig, *newRes.StreamConfig):
+		fmt.Println("benchcompare: stream configs differ — skipping stream rows")
+	default:
+		for _, oldS := range oldRes.Streams {
+			name := fmt.Sprintf("stream/%dMiB", oldS.ArchiveBytes>>20)
+			newS := newRes.StreamAt(oldS.ArchiveBytes)
+			broken := ""
+			if newS.ArchiveBytes != 0 && !newS.MatchesBatch {
+				broken = "stream output NOT byte-identical to batch"
+			}
+			compareRow(name, oldS.BytesPerSec, newS.BytesPerSec, newS.ArchiveBytes == 0, broken)
+		}
+	}
+
+	if len(failed) > 0 {
 		if !comparable {
 			fmt.Println("benchcompare: differences found, but configs are incomparable — treating as warning")
 			return 0
 		}
-		return 1
+		if *enforce == "" {
+			return 1
+		}
+		blocking := enforced(failed, *enforce)
+		if len(blocking) > 0 {
+			fmt.Printf("benchcompare: blocking failures in enforced rows: %s\n", strings.Join(blocking, ", "))
+			return 1
+		}
+		fmt.Printf("benchcompare: failures only in advisory rows (%s) — not enforced, treating as warning\n",
+			strings.Join(failed, ", "))
+		return 0
 	}
 	fmt.Println("benchcompare: ok")
 	return 0
+}
+
+// enforced filters failed row names down to those matching an -enforce
+// prefix.
+func enforced(failed []string, spec string) []string {
+	var prefixes []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	var out []string
+	for _, name := range failed {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // rate picks the stage's headline throughput: strands/sec where the stage
@@ -97,6 +173,32 @@ func rate(s bench.StageStat) float64 {
 		return s.StrandsPerSec
 	}
 	return s.ItemsPerSec
+}
+
+func kernelAt(r bench.ThroughputResult, readLen int) (bench.EditKernelStat, bool) {
+	for _, k := range r.EditKernels {
+		if k.ReadLen == readLen {
+			return k, true
+		}
+	}
+	return bench.EditKernelStat{}, false
+}
+
+// streamConfigsEqual compares the scalar knobs and the size list (the slice
+// field keeps StreamBenchConfig from being directly comparable with ==).
+func streamConfigsEqual(a, b bench.StreamBenchConfig) bool {
+	if a.VolumeBytes != b.VolumeBytes || a.InFlight != b.InFlight ||
+		a.Coverage != b.Coverage || a.ErrorRate != b.ErrorRate ||
+		a.BatchMaxMiB != b.BatchMaxMiB || a.Seed != b.Seed ||
+		len(a.SizesMiB) != len(b.SizesMiB) {
+		return false
+	}
+	for i := range a.SizesMiB {
+		if a.SizesMiB[i] != b.SizesMiB[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func load(path string) (bench.ThroughputResult, error) {

@@ -75,6 +75,7 @@ func codecFlags(fs *flag.FlagSet) *codec.Params {
 	fs.IntVar(&p.N, "n", 150, "molecules per encoding unit")
 	fs.IntVar(&p.K, "k", 120, "data molecules per unit (rest is RS parity)")
 	fs.IntVar(&p.PayloadBytes, "payload", 30, "payload bytes per molecule (4 bases each)")
+	fs.IntVar(&p.IndexBases, "index-bases", 8, "index field width in bases (4^n molecule addresses; widen for multi-volume streaming)")
 	fs.Uint64Var(&p.Seed, "codec-seed", 42, "scrambler seed (must match between encode and decode)")
 	fs.String("layout", "baseline", "matrix layout: baseline or gini")
 	return p
@@ -435,14 +436,14 @@ func cmdPipeline(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-stage deadline, e.g. 30s (0 = none)")
 	retries := fs.Int("retries", 0, "extra reconstruct+decode attempts with escalated cluster filtering")
 	bestEffort := fs.Bool("best-effort", false, "salvage a partial file with a damage map instead of failing")
+	stream := fs.Bool("stream", false, "streaming volume-sharded run: bounded memory, stages overlapped across volumes")
+	volumeBytes := fs.Int("volume-bytes", 1<<20, "archive bytes per volume in streaming mode")
+	inflight := fs.Int("inflight", 0, "max volumes in the pipeline at once in streaming mode (0 = auto)")
+	poolGroup := fs.Int("pool-group", 1, "consecutive volumes pooled through one simulated sample (streaming mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := resolveLayout(fs, p); err != nil {
-		return err
-	}
-	data, err := os.ReadFile(*in)
-	if err != nil {
 		return err
 	}
 	c, err := codec.NewCodec(*p)
@@ -464,11 +465,34 @@ func cmdPipeline(args []string) error {
 	pipe := core.New(c,
 		sim.Options{Channel: ch, Coverage: sim.FixedCoverage(*coverage), Seed: *seed},
 		clusterOpts, algo)
-	res, err := pipe.Run(data, core.RunOptions{
+	runOpts := core.RunOptions{
 		StageTimeout: *timeout,
 		Retries:      *retries,
 		BestEffort:   *bestEffort,
-	})
+	}
+	if *stream {
+		// The archive size is known here (RunStream itself reads an
+		// unbounded io.Reader and cannot check this): fail before encoding
+		// anything if the index field cannot address every volume.
+		if info, serr := os.Stat(*in); serr == nil {
+			volumes := codec.VolumeCount(info.Size(), *volumeBytes)
+			if need := uint64(volumes) * c.VolumeCapacity(*volumeBytes); need > c.MaxMolecules() {
+				return fmt.Errorf("archive needs %d volumes × %d molecule addresses but -index-bases %d provides only %d; raise -index-bases (each step quadruples the address space)",
+					volumes, c.VolumeCapacity(*volumeBytes), p.IndexBases, c.MaxMolecules())
+			}
+		}
+		return runStreamPipeline(pipe, *in, *out, core.StreamOptions{
+			RunOptions:  runOpts,
+			VolumeBytes: *volumeBytes,
+			InFlight:    *inflight,
+			PoolGroup:   *poolGroup,
+		})
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	res, err := pipe.Run(data, runOpts)
 	if err != nil {
 		return err
 	}
@@ -488,8 +512,63 @@ func cmdPipeline(args []string) error {
 		fmt.Printf("warning: partial recovery; do not trust units %v\n", res.Report.DamagedUnits())
 	}
 	t := res.Times
-	fmt.Printf("latency: encode %v | simulate %v | cluster %v | reconstruct %v | decode %v | total %v\n",
-		t.Encode, t.Simulate, t.Cluster, t.Reconstruct, t.Decode, t.Total())
+	fmt.Printf("latency: encode %v | simulate %v | cluster %v | reconstruct %v | decode %v | busy %v | wall %v\n",
+		t.Encode, t.Simulate, t.Cluster, t.Reconstruct, t.Decode, t.Total(), t.Wall)
 	fmt.Printf("decode report: %s\n", res.Report)
+	return nil
+}
+
+// runStreamPipeline pushes the input file through Pipeline.RunStream: the
+// archive is processed volume by volume with bounded memory and the
+// recovered bytes stream straight into the output file.
+func runStreamPipeline(pipe *core.Pipeline, in, out string, opts core.StreamOptions) (err error) {
+	inF, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer inF.Close() //dnalint:allow errflow -- read-only file: a close error cannot lose data
+	outF, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A failed close can drop buffered writes; surface it unless an
+		// earlier error already explains the failure.
+		if cerr := outF.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriterSize(outF, 1<<20)
+	res, err := pipe.RunStream(context.Background(), bufio.NewReaderSize(inF, 1<<20), w, opts)
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		// The aggregate error ("N of M volumes failed") hides the cause;
+		// the per-volume errors say what actually went wrong.
+		shown := 0
+		for _, v := range res.Volumes {
+			if v.Err != nil && shown < 3 {
+				fmt.Fprintf(os.Stderr, "volume %d: %v\n", v.ID, v.Err)
+				shown++
+			}
+		}
+		if more := res.FailedVolumes - shown; more > 0 {
+			fmt.Fprintf(os.Stderr, "... and %d more failed volumes\n", more)
+		}
+		return err
+	}
+	status := "RECOVERED"
+	if res.FailedVolumes > 0 {
+		status = fmt.Sprintf("PARTIAL (%d/%d volumes damaged, regions zero-filled)", res.FailedVolumes, len(res.Volumes))
+	}
+	fmt.Printf("%s: %d bytes → %d strands → %d reads → %d clusters → %d bytes across %d volumes\n",
+		status, res.BytesIn, res.Strands, res.Reads, res.Clusters, res.BytesOut, len(res.Volumes))
+	if res.ClusterStats.Spilled > 0 {
+		fmt.Printf("demux: %d reads spilled (unroutable index prefix)\n", res.ClusterStats.Spilled)
+	}
+	t := res.Times
+	fmt.Printf("latency: encode %v | simulate %v | cluster %v | reconstruct %v | decode %v | busy %v | wall %v | overlap %.2fx\n",
+		t.Encode, t.Simulate, t.Cluster, t.Reconstruct, t.Decode, t.Total(), t.Wall, t.Overlap())
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"os"
 	"path/filepath"
@@ -177,5 +178,31 @@ func TestCmdPipelineFile(t *testing.T) {
 	}
 	if string(got) != string(payload) {
 		t.Fatal("CLI pipeline round trip mismatch")
+	}
+}
+
+func TestCmdPipelineStream(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	payload := bytes.Repeat([]byte("streaming volume-sharded pipeline through the CLI! "), 40)
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdPipeline([]string{
+		"-in", in, "-out", out,
+		"-n", "24", "-k", "16", "-payload", "10",
+		"-rate", "0.02", "-coverage", "8", "-algo", "dbma",
+		"-stream", "-volume-bytes", "600", "-inflight", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("CLI streaming pipeline round trip mismatch")
 	}
 }

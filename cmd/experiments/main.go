@@ -66,6 +66,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use small configurations (seconds instead of minutes)")
 	csvDir := flag.String("csv", "", "also write raw series as CSV files into this directory (for plotting)")
 	benchJSON := flag.String("bench-json", "", "write the stage-throughput result as JSON to this file (implies -run throughput if selected)")
+	streamMiB := flag.String("stream-mib", "", "archive sizes (MiB, comma-separated) for the streaming benchmark run with -run throughput; empty = config default (1,16,64 full / 1 quick), \"off\" = skip")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -233,6 +234,28 @@ func main() {
 		res := bench.Throughput(cfg)
 		bench.RenderThroughput(out, res)
 		fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds())
+		if *streamMiB != "off" {
+			scfg := bench.DefaultStreamBench()
+			if *quick {
+				scfg = bench.QuickStreamBench()
+			}
+			if *streamMiB != "" {
+				scfg.SizesMiB = nil
+				for _, f := range strings.Split(*streamMiB, ",") {
+					mib, err := strconv.Atoi(strings.TrimSpace(f))
+					if err != nil || mib <= 0 {
+						fmt.Fprintf(os.Stderr, "experiments: bad -stream-mib entry %q\n", f)
+						os.Exit(2)
+					}
+					scfg.SizesMiB = append(scfg.SizesMiB, mib)
+				}
+			}
+			start = time.Now()
+			res.StreamConfig = &scfg
+			res.Streams = bench.StreamBench(scfg)
+			bench.RenderStream(out, res.Streams)
+			fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds())
+		}
 		ran++
 		if *benchJSON != "" {
 			writeJSON(*benchJSON, res)

@@ -208,6 +208,11 @@ type (
 	Clusterer = core.Clusterer
 	// Reconstructor is the pipeline's consensus stage interface.
 	Reconstructor = core.Reconstructor
+	// AlgorithmReconstructor adapts a Reconstruction algorithm to the
+	// Reconstructor stage interface — the way to hand
+	// RunOptions.FallbackReconstructor a second algorithm (e.g. NW after a
+	// fast BMA first pass) for retry escalation.
+	AlgorithmReconstructor = core.AlgorithmReconstructor
 	// ShardedClusterer runs the distributed clustering variant (§VI-A)
 	// inside a pipeline.
 	ShardedClusterer = core.ShardedClusterer
@@ -215,6 +220,26 @@ type (
 	UnitDamage = codec.UnitDamage
 	// DecodeOptions tweaks Codec.DecodeFileContext (best-effort salvage).
 	DecodeOptions = codec.DecodeOptions
+)
+
+// Streaming volume-sharded runtime: bounded-memory, stage-overlapped
+// end-to-end runs over archives of any size (Pipeline.RunStream).
+type (
+	// StreamOptions configures Pipeline.RunStream: volume size, in-flight
+	// bound, pooled-demux group width and stage worker counts.
+	StreamOptions = core.StreamOptions
+	// StreamResult aggregates a streaming run: per-volume results, byte
+	// counts, spill accounting and busy-vs-wall stage times.
+	StreamResult = core.StreamResult
+	// VolumeResult reports one volume's trip through the stream.
+	VolumeResult = core.VolumeResult
+	// VolumeHeader is the framed per-volume header (id, geometry, length,
+	// checksum).
+	VolumeHeader = codec.VolumeHeader
+	// VolumeSimulator is a Simulator with deterministic per-volume noise.
+	VolumeSimulator = core.VolumeSimulator
+	// VolumeClusterer is a Clusterer with deterministic per-volume seeding.
+	VolumeClusterer = core.VolumeClusterer
 )
 
 // Typed sentinel errors of the fault-tolerant runtime, matchable with
@@ -235,6 +260,14 @@ var (
 	ErrRetriesExhausted = core.ErrRetriesExhausted
 	// ErrNoUsableClusters is returned when MinClusterSize drops everything.
 	ErrNoUsableClusters = core.ErrNoUsableClusters
+	// ErrVolumeDamaged is returned by Pipeline.RunStream (best effort off)
+	// when some volumes could not be recovered; their output regions are
+	// zero-filled and StreamResult.Volumes carries the per-volume errors.
+	ErrVolumeDamaged = core.ErrVolumeDamaged
+	// ErrVolumeHeader marks a volume frame that failed validation.
+	ErrVolumeHeader = codec.ErrVolumeHeader
+	// ErrVolumeChecksum marks a decoded volume whose payload CRC mismatched.
+	ErrVolumeChecksum = codec.ErrVolumeChecksum
 )
 
 // Fault injection for resilience testing (internal/chaos).

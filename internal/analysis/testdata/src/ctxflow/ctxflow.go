@@ -63,3 +63,36 @@ func closurePoll(ctx context.Context, items []int) {
 		}()
 	}
 }
+
+// Streaming pump loops: a worker draining a channel must still observe
+// cancellation, or an abandoned run leaks the goroutine until the channel
+// closes — polling ctx (or selecting on ctx.Done) inside the drain loop is
+// the contract.
+
+func pumpWithPoll(ctx context.Context, in <-chan int, out chan<- int) {
+	for v := range in {
+		if ctx.Err() != nil {
+			return
+		}
+		out <- work(v)
+	}
+}
+
+func pumpWithSelect(ctx context.Context, in <-chan int, out chan<- int) {
+	for v := range in {
+		select {
+		case out <- work(v):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func pumpWithoutPoll(ctx context.Context, in <-chan int, out chan<- int) {
+	if ctx.Err() != nil {
+		return
+	}
+	for v := range in { // want "loop does real work but never consults the context"
+		out <- work(v)
+	}
+}

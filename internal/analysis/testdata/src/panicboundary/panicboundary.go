@@ -64,3 +64,43 @@ func nestedClosureNotEnough(items []int) {
 func recoverInHelper() {
 	defer func() { _ = recover() }()
 }
+
+// Streaming pump goroutines: the channel-draining workers of a streaming
+// runtime are long-lived, so an escaped panic takes the whole run with it.
+// Each pump must install its own recover boundary before draining.
+
+func guardedPump(in <-chan int, out chan<- int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { _ = recover() }()
+		for v := range in {
+			out <- v * 2
+		}
+	}()
+	wg.Wait()
+}
+
+func unguardedPump(in <-chan int, out chan<- int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine has no recover handler"
+		defer wg.Done()
+		for v := range in {
+			out <- v * 2
+		}
+	}()
+	wg.Wait()
+}
+
+func unguardedCloser(in <-chan int) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() { // want "goroutine has no recover handler"
+		wg.Wait()
+		close(done)
+	}()
+	<-done
+	_ = in
+}

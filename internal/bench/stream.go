@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"dnastore/internal/cluster"
+	"dnastore/internal/codec"
+	"dnastore/internal/core"
+	"dnastore/internal/recon"
+	"dnastore/internal/sim"
+	"dnastore/internal/xrand"
+)
+
+// StreamBenchConfig sizes the end-to-end streaming benchmark: one synthetic
+// archive per entry of SizesMiB is pushed through Pipeline.RunStream with a
+// heap sampler running, and (up to BatchMaxMiB) through the batch
+// Pipeline.Run on the same pipeline for the peak-heap and byte-identity
+// comparison. The codec geometry is fixed inside the harness (light RS,
+// wide index space) so the index address range covers multi-hundred-MiB
+// archives; what varies between BENCH_*.json generations is recorded here.
+type StreamBenchConfig struct {
+	SizesMiB    []int   `json:"sizes_mib"`
+	VolumeBytes int     `json:"volume_bytes"`
+	InFlight    int     `json:"inflight"`
+	Coverage    int     `json:"coverage"`
+	ErrorRate   float64 `json:"error_rate"`
+	BatchMaxMiB int     `json:"batch_max_mib"` // largest size also run through the batch path
+	Seed        uint64  `json:"seed"`
+}
+
+// DefaultStreamBench covers the EXPERIMENTS.md peak-heap table: 1, 16 and
+// 64 MiB archives, streamed in 1 MiB volumes, with the batch path run at
+// every size as the memory baseline.
+func DefaultStreamBench() StreamBenchConfig {
+	return StreamBenchConfig{
+		SizesMiB:    []int{1, 16, 64},
+		VolumeBytes: 1 << 20,
+		InFlight:    4,
+		Coverage:    3,
+		ErrorRate:   0.001,
+		BatchMaxMiB: 64,
+		Seed:        7,
+	}
+}
+
+// QuickStreamBench sizes the harness for CI smoke runs: one 1 MiB archive
+// in 256 KiB volumes, batch comparison included.
+func QuickStreamBench() StreamBenchConfig {
+	c := DefaultStreamBench()
+	c.SizesMiB = []int{1}
+	c.VolumeBytes = 256 << 10
+	return c
+}
+
+// StreamStat is one archive size's measurement: streaming wall time, busy
+// time and overlap ratio (see core.StageTimes), peak heap while streaming,
+// and — when the batch path also ran — the batch wall time and peak heap it
+// is being compared against. MatchesBatch is the acceptance bit: the
+// streamed output was byte-identical to the batch output (to the input
+// archive when the batch run was skipped for size).
+type StreamStat struct {
+	ArchiveBytes       int     `json:"archive_bytes"`
+	VolumeBytes        int     `json:"volume_bytes"`
+	Volumes            int     `json:"volumes"`
+	InFlight           int     `json:"inflight"`
+	Workers            int     `json:"workers"`
+	Strands            int     `json:"strands"`
+	Reads              int     `json:"reads"`
+	Seconds            float64 `json:"seconds"`
+	BusySeconds        float64 `json:"busy_seconds"`
+	Overlap            float64 `json:"overlap"`
+	BytesPerSec        float64 `json:"bytes_per_sec"`
+	StrandsPerSec      float64 `json:"strands_per_sec"`
+	PeakHeapBytes      uint64  `json:"peak_heap_bytes"`
+	BatchRan           bool    `json:"batch_ran"`
+	BatchSeconds       float64 `json:"batch_seconds,omitempty"`
+	BatchPeakHeapBytes uint64  `json:"batch_peak_heap_bytes,omitempty"`
+	MatchesBatch       bool    `json:"matches_batch"`
+}
+
+// streamBenchPipeline assembles the fixed pipeline the streaming benchmark
+// measures: a light Reed–Solomon geometry (8 parity strands per 48), an
+// index space wide enough for ~1500 one-MiB volumes, IID substitution noise
+// and double-sided BMA reconstruction — deliberately cheap per strand so the
+// benchmark measures data movement, not decoder heroics.
+func streamBenchPipeline(cfg StreamBenchConfig) *core.Pipeline {
+	c, err := codec.NewCodec(codec.Params{
+		N: 48, K: 40, PayloadBytes: 120, IndexBases: 12, Seed: cfg.Seed,
+	})
+	if err != nil {
+		panic("bench: stream codec params invalid: " + err.Error())
+	}
+	return &core.Pipeline{
+		Codec: c,
+		Simulator: core.PoolSimulator{Options: sim.Options{
+			Channel:  sim.CalibratedIID(cfg.ErrorRate),
+			Coverage: sim.FixedCoverage(cfg.Coverage),
+			Seed:     cfg.Seed + 1,
+		}},
+		// Six rounds, no straggler sweep, gram length 5, pinned thresholds.
+		// At this low error rate reads are near-duplicates, so extra rounds
+		// only add mis-merge opportunities and the sweep's per-straggler
+		// edit checks cost wall time without changing the outcome. The
+		// ~490 nt reads saturate the default 4-gram presence signature
+		// (almost every 4-gram occurs, unrelated reads sit at distance ~12
+		// with a fat tail below θ_low — mis-merges), while 5-grams put
+		// unrelated pairs at distance ~22, cleanly above θ_high. Pinning
+		// the thresholds also skips §VI-B's per-call pair sampling — a
+		// fixed cost that would otherwise be paid once per volume.
+		Clusterer: core.OptionsClusterer{Options: cluster.Options{
+			Seed: cfg.Seed + 2, Rounds: 6, NoStragglerSweep: true,
+			GramLen: 5, ThetaLow: 4, ThetaHigh: 12, EditThreshold: 40,
+		}},
+		Reconstructor: core.AlgorithmReconstructor{Algorithm: recon.DoubleSidedBMA{}},
+	}
+}
+
+// heapSampler tracks peak HeapAlloc from a background goroutine while a
+// benchmarked run executes. runtime.ReadMemStats stops the world, so the
+// cadence is a compromise: 5 ms is fine-grained enough to catch the batch
+// path's read-pool peak yet costs well under 1% of a seconds-long run.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func sampleHeap(interval time.Duration) *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak {
+					s.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// stopPeak ends sampling and returns the peak, folding in one final reading
+// so even a run shorter than the sampling interval reports a value.
+func (s *heapSampler) stopPeak() uint64 {
+	close(s.stop)
+	<-s.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	return s.peak
+}
+
+// StreamBench runs the streaming benchmark at every configured archive size.
+// Like the rest of the harness it panics on pipeline failure: a benchmark
+// whose round trip does not complete has no meaningful numbers to report.
+func StreamBench(cfg StreamBenchConfig) []StreamStat {
+	p := streamBenchPipeline(cfg)
+	out := make([]StreamStat, 0, len(cfg.SizesMiB))
+	for _, mib := range cfg.SizesMiB {
+		out = append(out, streamBenchOne(p, cfg, mib))
+	}
+	return out
+}
+
+func streamBenchOne(p *core.Pipeline, cfg StreamBenchConfig, mib int) StreamStat {
+	n := mib << 20
+	rng := xrand.New(cfg.Seed ^ uint64(mib)<<32)
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	opts := core.StreamOptions{VolumeBytes: cfg.VolumeBytes, InFlight: cfg.InFlight}
+
+	// --- streaming run, heap-sampled ---
+	runtime.GC() // settle the generator garbage so the sampler sees the run, not the setup
+	samp := sampleHeap(5 * time.Millisecond)
+	var got bytes.Buffer
+	got.Grow(n)
+	start := time.Now() //dnalint:allow determinism -- benchmark timing, never feeds a pipeline decision
+	res, err := p.RunStream(context.Background(), bytes.NewReader(data), &got, opts)
+	sec := time.Since(start).Seconds()
+	peak := samp.stopPeak()
+	if err != nil {
+		panic(fmt.Sprintf("bench: %d MiB stream run failed: %v", mib, err))
+	}
+
+	st := StreamStat{
+		ArchiveBytes:  n,
+		VolumeBytes:   cfg.VolumeBytes,
+		Volumes:       len(res.Volumes),
+		InFlight:      cfg.InFlight,
+		Workers:       runtime.GOMAXPROCS(0),
+		Strands:       res.Strands,
+		Reads:         res.Reads,
+		Seconds:       sec,
+		BusySeconds:   res.Times.Total().Seconds(),
+		Overlap:       res.Times.Overlap(),
+		BytesPerSec:   float64(n) / maxf(sec, 1e-9),
+		StrandsPerSec: float64(res.Strands) / maxf(sec, 1e-9),
+		PeakHeapBytes: peak,
+		MatchesBatch:  bytes.Equal(got.Bytes(), data),
+	}
+
+	// --- batch comparison run (same pipeline, same input) ---
+	if mib <= cfg.BatchMaxMiB {
+		runtime.GC()
+		bsamp := sampleHeap(5 * time.Millisecond)
+		bstart := time.Now() //dnalint:allow determinism -- benchmark timing, never feeds a pipeline decision
+		bres, berr := p.Run(data, core.RunOptions{})
+		st.BatchSeconds = time.Since(bstart).Seconds()
+		st.BatchPeakHeapBytes = bsamp.stopPeak()
+		st.BatchRan = true
+		if berr != nil {
+			panic(fmt.Sprintf("bench: %d MiB batch run failed: %v", mib, berr))
+		}
+		st.MatchesBatch = bytes.Equal(got.Bytes(), bres.Data)
+	}
+	return st
+}
+
+// RenderStream prints the streaming benchmark rows as a text table.
+func RenderStream(w io.Writer, stats []StreamStat) {
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "STREAMING RUNTIME — RunStream vs batch Run, %d KiB volumes, in-flight %d\n",
+		stats[0].VolumeBytes>>10, stats[0].InFlight)
+	fmt.Fprintf(w, "%-8s %8s %10s %10s %8s %12s %14s %12s %8s\n",
+		"archive", "volumes", "wall", "busy", "overlap", "peak heap", "batch peak", "batch wall", "match")
+	for _, s := range stats {
+		batchPeak, batchWall := "-", "-"
+		if s.BatchRan {
+			batchPeak = fmt.Sprintf("%.1f MiB", float64(s.BatchPeakHeapBytes)/(1<<20))
+			batchWall = fmt.Sprintf("%.1fs", s.BatchSeconds)
+		}
+		fmt.Fprintf(w, "%-8s %8d %9.1fs %9.1fs %7.2fx %12s %14s %12s %8v\n",
+			fmt.Sprintf("%d MiB", s.ArchiveBytes>>20), s.Volumes, s.Seconds, s.BusySeconds,
+			s.Overlap, fmt.Sprintf("%.1f MiB", float64(s.PeakHeapBytes)/(1<<20)), batchPeak, batchWall,
+			s.MatchesBatch)
+	}
+}

@@ -88,6 +88,24 @@ type ThroughputResult struct {
 	Stages             []StageStat      `json:"stages"`
 	EditKernels        []EditKernelStat `json:"edit_kernels,omitempty"`
 	ConsensusIdentical bool             `json:"consensus_identical"`
+
+	// StreamConfig and Streams are filled by the streaming benchmark (see
+	// stream.go) when cmd/experiments runs it alongside the stage harness.
+	// They ride in the same BENCH_*.json; cmd/benchcompare compares stream
+	// rows only when the two files' StreamConfigs match.
+	StreamConfig *StreamBenchConfig `json:"stream_config,omitempty"`
+	Streams      []StreamStat       `json:"streams,omitempty"`
+}
+
+// StreamAt returns the stream row measured at the given archive size (zero
+// value when absent).
+func (r ThroughputResult) StreamAt(archiveBytes int) StreamStat {
+	for _, s := range r.Streams {
+		if s.ArchiveBytes == archiveBytes {
+			return s
+		}
+	}
+	return StreamStat{}
 }
 
 // Stage returns the named stage's stats (zero value when absent).

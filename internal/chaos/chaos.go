@@ -40,6 +40,15 @@ type Faults struct {
 	// TruncateRead is the probability that each surviving read is cut off
 	// at a random interior position (models early sequencing termination).
 	TruncateRead float64
+	// ScrambleIndex is the probability that each surviving read's leading
+	// ScrambleBases bases are overwritten with random ones (models
+	// synthesis/sequencing damage concentrated on the index prefix, which
+	// defeats the streaming demux's routing — such reads must land in the
+	// spill shard, never be misrouted silently into another volume).
+	ScrambleIndex float64
+	// ScrambleBases is the width of the scrambled prefix. Defaults to 8
+	// (the codec's default IndexBases) when ScrambleIndex is set.
+	ScrambleBases int
 	// StageLatency is added to every wrapped stage invocation before any
 	// work happens. The injected sleep honours context cancellation, so
 	// deadline tests abort promptly.
@@ -97,10 +106,44 @@ func (s *Simulator) Simulate(ctx context.Context, strands []dna.Seq) ([]sim.Read
 	if err != nil {
 		return nil, err
 	}
-	if s.Faults.DropRead <= 0 && s.Faults.TruncateRead <= 0 {
+	return s.applyReadFaults(ctx, reads, xrand.Derive(s.Faults.Seed, 0xc4a05))
+}
+
+// SimulateVolume implements core.VolumeSimulator so the chaos wrapper is
+// transparent to the streaming runtime: the inner simulator's per-volume
+// seed derivation is preserved when available, and the fault RNG is derived
+// per volume, so injected faults depend only on (Faults.Seed, volume id) —
+// never on which volumes are in flight.
+func (s *Simulator) SimulateVolume(ctx context.Context, volume uint32, strands []dna.Seq) ([]sim.Read, error) {
+	if err := sleepCtx(ctx, s.Faults.StageLatency); err != nil {
+		return nil, err
+	}
+	if s.calls.tick(s.Faults.PanicEveryN) {
+		panic("chaos: injected simulator panic")
+	}
+	var reads []sim.Read
+	var err error
+	if vs, ok := s.Inner.(core.VolumeSimulator); ok {
+		reads, err = vs.SimulateVolume(ctx, volume, strands)
+	} else {
+		reads, err = s.Inner.Simulate(ctx, strands)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.applyReadFaults(ctx, reads, xrand.Derive(s.Faults.Seed, 0xc4a05^uint64(volume)))
+}
+
+// applyReadFaults runs the per-read fault lottery (drop, truncate, index
+// scramble) over reads with the given deterministic RNG.
+func (s *Simulator) applyReadFaults(ctx context.Context, reads []sim.Read, rng *xrand.RNG) ([]sim.Read, error) {
+	if s.Faults.DropRead <= 0 && s.Faults.TruncateRead <= 0 && s.Faults.ScrambleIndex <= 0 {
 		return reads, nil
 	}
-	rng := xrand.Derive(s.Faults.Seed, 0xc4a05)
+	scrambleBases := s.Faults.ScrambleBases
+	if scrambleBases <= 0 {
+		scrambleBases = 8
+	}
 	out := make([]sim.Read, 0, len(reads))
 	for i, r := range reads {
 		if i&0xfff == 0 && ctx.Err() != nil {
@@ -111,6 +154,14 @@ func (s *Simulator) Simulate(ctx context.Context, strands []dna.Seq) ([]sim.Read
 		}
 		if rng.Bool(s.Faults.TruncateRead) && len(r.Seq) > 1 {
 			r.Seq = r.Seq[:1+rng.Intn(len(r.Seq)-1)]
+		}
+		if rng.Bool(s.Faults.ScrambleIndex) && len(r.Seq) > 0 {
+			n := min(scrambleBases, len(r.Seq))
+			scrambled := r.Seq.Clone()
+			for b := 0; b < n; b++ {
+				scrambled[b] = dna.Base(rng.Intn(dna.NumBases))
+			}
+			r.Seq = scrambled
 		}
 		out = append(out, r)
 	}
@@ -132,6 +183,21 @@ func (c *Clusterer) Cluster(ctx context.Context, reads []dna.Seq) (cluster.Resul
 	}
 	if c.calls.tick(c.Faults.PanicEveryN) {
 		panic("chaos: injected clusterer panic")
+	}
+	return c.Inner.Cluster(ctx, reads)
+}
+
+// ClusterVolume implements core.VolumeClusterer, preserving the inner
+// clusterer's per-volume seed derivation when it has one.
+func (c *Clusterer) ClusterVolume(ctx context.Context, volume uint32, reads []dna.Seq) (cluster.Result, error) {
+	if err := sleepCtx(ctx, c.Faults.StageLatency); err != nil {
+		return cluster.Result{}, err
+	}
+	if c.calls.tick(c.Faults.PanicEveryN) {
+		panic("chaos: injected clusterer panic")
+	}
+	if vc, ok := c.Inner.(core.VolumeClusterer); ok {
+		return vc.ClusterVolume(ctx, volume, reads)
 	}
 	return c.Inner.Cluster(ctx, reads)
 }

@@ -119,6 +119,30 @@ type Stats struct {
 	ClusterTime       time.Duration // total minus signature computation
 	ThetaLow          int
 	ThetaHigh         int
+	// Spilled counts reads the streaming demux could not route to any volume
+	// (index prefix corrupt, out of range, or read shorter than the prefix).
+	// Spilled reads are excluded from clustering but never silently dropped:
+	// this counter is the audit trail. Always 0 in batch runs.
+	Spilled int
+}
+
+// Add accumulates o's counters into s. Time fields sum (busy time across
+// shards or volumes); the theta thresholds keep the widest observed range,
+// since a merged report cannot represent one threshold per sub-run.
+func (s *Stats) Add(o Stats) {
+	s.Rounds += o.Rounds
+	s.EditDistanceCalls += o.EditDistanceCalls
+	s.Merges += o.Merges
+	s.CheapMerges += o.CheapMerges
+	s.SignatureTime += o.SignatureTime
+	s.ClusterTime += o.ClusterTime
+	s.Spilled += o.Spilled
+	if s.ThetaLow == 0 || (o.ThetaLow != 0 && o.ThetaLow < s.ThetaLow) {
+		s.ThetaLow = o.ThetaLow
+	}
+	if o.ThetaHigh > s.ThetaHigh {
+		s.ThetaHigh = o.ThetaHigh
+	}
 }
 
 // Result is the output of Cluster.

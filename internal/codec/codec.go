@@ -80,6 +80,19 @@ type Params struct {
 	// Seed drives the randomizing scrambler. The same seed must be used to
 	// encode and decode.
 	Seed uint64
+	// IndexSeed, when non-zero, seeds the index mask independently of Seed.
+	// The volume layer uses it to give every volume its own scramble
+	// keystream (derived Seed) while keeping one archive-wide index mask, so
+	// a pooled read's index prefix can be unmasked — and the read routed to
+	// its volume — without knowing the volume first. 0 means the mask is
+	// derived from Seed, which is the classic single-file behaviour.
+	IndexSeed uint64
+	// IndexOffset is the molecule index assigned to the first strand of the
+	// encoded file. The volume layer gives volume v the offset
+	// v·capacity so all volumes of an archive share one global index space
+	// (the demux stage divides an observed index by the capacity to recover
+	// the volume id). 0 is the classic single-file behaviour.
+	IndexOffset uint64
 	// Layout places codeword symbols in the matrix. Defaults to BaselineLayout.
 	Layout Layout
 	// Mapper optionally permutes each unit's data bytes before layout
@@ -121,6 +134,10 @@ func NewCodec(p Params) (*Codec, error) {
 		return nil, fmt.Errorf("codec: unit carries %d data bytes (K·PayloadBytes), need at least %d for the file header",
 			p.K*p.PayloadBytes, headerBytes)
 	}
+	if max := maxMoleculesFor(p.IndexBases); p.IndexOffset >= max {
+		return nil, fmt.Errorf("codec: IndexOffset %d exceeds the %d addresses of IndexBases=%d",
+			p.IndexOffset, max, p.IndexBases)
+	}
 	if p.Mapper != nil && len(p.Mapper.profile) != p.PayloadBytes {
 		return nil, fmt.Errorf("codec: mapper profile has %d rows, unit has %d", len(p.Mapper.profile), p.PayloadBytes)
 	}
@@ -149,19 +166,33 @@ func (c *Codec) InnerLen() int {
 }
 
 // maxMolecules is the number of distinct index values available.
-func (c *Codec) maxMolecules() uint64 {
-	if c.p.IndexBases >= 32 {
+func (c *Codec) maxMolecules() uint64 { return maxMoleculesFor(c.p.IndexBases) }
+
+// MaxMolecules is the number of distinct molecule addresses IndexBases can
+// express. Callers provisioning a multi-volume archive should check
+// volumes·VolumeCapacity against it before encoding: the volume layer
+// assigns every volume a disjoint slice of this one address space.
+func (c *Codec) MaxMolecules() uint64 { return c.maxMolecules() }
+
+func maxMoleculesFor(indexBases int) uint64 {
+	if indexBases >= 32 {
 		return 1 << 62
 	}
-	return 1 << (2 * uint(c.p.IndexBases))
+	return 1 << (2 * uint(indexBases))
 }
 
 // indexMask randomizes the on-strand appearance of the index field while
 // preserving uniqueness: the index value is XORed with a seed-derived
-// constant before base encoding.
+// constant before base encoding. The mask derives from IndexSeed when set
+// (volume mode: one mask across all volumes of an archive) and from Seed
+// otherwise (classic single-file mode).
 func (c *Codec) indexMask() uint64 {
+	seed := c.p.Seed
+	if c.p.IndexSeed != 0 {
+		seed = c.p.IndexSeed
+	}
 	var b [8]byte
-	xrand.Keystream(c.p.Seed^0x1db5_a2ca_7745_9f01, b[:])
+	xrand.Keystream(seed^0x1db5_a2ca_7745_9f01, b[:])
 	var m uint64
 	for i, v := range b {
 		m |= uint64(v) << (8 * uint(i))

@@ -30,8 +30,8 @@ func (c *Codec) EncodeFile(data []byte) ([]dna.Seq, error) {
 	framed := c.frame(data)
 	unitBytes := c.UnitDataBytes()
 	units := len(framed) / unitBytes
-	if need := uint64(units) * uint64(c.p.N); need > c.maxMolecules() {
-		return nil, fmt.Errorf("codec: file needs %d molecules but IndexBases=%d addresses only %d",
+	if need := c.p.IndexOffset + uint64(units)*uint64(c.p.N); need > c.maxMolecules() {
+		return nil, fmt.Errorf("codec: file needs molecule indices up to %d but IndexBases=%d addresses only %d",
 			need, c.p.IndexBases, c.maxMolecules())
 	}
 	mask := c.indexMask()
@@ -46,7 +46,7 @@ func (c *Codec) EncodeFile(data []byte) ([]dna.Seq, error) {
 			return nil, err
 		}
 		for col := 0; col < c.p.N; col++ {
-			idx := uint64(u*c.p.N + col)
+			idx := c.p.IndexOffset + uint64(u*c.p.N+col)
 			payload := append([]byte(nil), matrix[col]...)
 			c.scramble(idx, payload)
 			inner := make(dna.Seq, 0, c.InnerLen())
@@ -134,10 +134,15 @@ func (c *Codec) DecodeFileContext(ctx context.Context, strands []dna.Seq, opts D
 			rep.UnparsableStrand++
 			continue
 		}
-		if idx >= c.maxMolecules() {
+		// Indices are absolute within the archive's shared index space; the
+		// decoder works in file-relative indices so everything downstream
+		// (unit math, geometry reconstruction) is offset-agnostic. A strand
+		// from before this file's range is as unparsable as a garbage index.
+		if idx < c.p.IndexOffset || idx >= c.maxMolecules() {
 			rep.UnparsableStrand++
 			continue
 		}
+		idx -= c.p.IndexOffset
 		if _, dup := byIndex[idx]; dup {
 			rep.DuplicateIndex++
 			continue

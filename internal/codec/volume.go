@@ -1,0 +1,240 @@
+package codec
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+// The volume layer splits an archive into fixed-size, independently
+// decodable volumes. Each volume is encoded exactly like a standalone file
+// (EncodeFile is the single-volume special case) by a codec derived from the
+// archive codec:
+//
+//   - the scrambler seed is derived per volume from the master seed via the
+//     splitmix mixer (VolumeSeed), so every volume gets an independent
+//     keystream and any volume can be decoded knowing only the master seed
+//     and its id;
+//   - the index mask is shared across all volumes (Params.IndexSeed), and
+//     volume v's molecules occupy the index range [v·capacity, (v+1)·capacity)
+//     of one archive-wide index space (Params.IndexOffset), so a pooled read
+//     can be routed back to its volume by unmasking its index prefix alone
+//     (ReadVolumeID) — the demux stage of the streaming runtime;
+//   - the volume's payload is framed with its own header (magic, geometry,
+//     id, payload length, CRC32), so a decoded volume is self-describing and
+//     cross-volume mixups or silent corruption are detected end-to-end.
+
+// volumeMagic identifies a framed volume payload ("DVOL", version 1).
+var volumeMagic = [5]byte{'D', 'V', 'O', 'L', 1}
+
+// VolumeHeaderBytes is the size of the framed per-volume header:
+// magic+version (5), reserved (1), N (2), K (2), PayloadBytes (2), id (4),
+// payload length (8), CRC32 (4).
+const VolumeHeaderBytes = 28
+
+// VolumeHeader is the decoded per-volume frame header.
+type VolumeHeader struct {
+	// ID is the volume's position in the archive (0-based).
+	ID uint32
+	// N, K and PayloadBytes echo the codec geometry the volume was encoded
+	// with; a mismatch against the decoding codec is a hard error.
+	N, K, PayloadBytes int
+	// PayloadLen is the number of archive bytes the volume carries.
+	PayloadLen uint64
+	// CRC is the IEEE CRC32 of the payload bytes.
+	CRC uint32
+}
+
+// Typed sentinel errors of the volume layer; both wrap ErrDecode so existing
+// errors.Is(err, ErrDecode) checks keep matching.
+var (
+	// ErrVolumeHeader marks a volume whose frame header is missing, from a
+	// different volume, or geometry-incompatible with the decoding codec.
+	ErrVolumeHeader = errors.New("codec: bad volume header")
+	// ErrVolumeChecksum marks a volume whose payload decoded but failed its
+	// CRC — the outer code repaired the wrong thing or damage slipped
+	// through undetected.
+	ErrVolumeChecksum = errors.New("codec: volume checksum mismatch")
+)
+
+// volumeSeedTag separates the per-volume seed stream from every other
+// derived stream in the toolkit.
+const volumeSeedTag = 0x766f_6c75_6d65 // "volume"
+
+// VolumeSeed derives volume id's scrambler seed from the archive's master
+// seed. Distinct volumes get statistically independent keystreams while any
+// volume remains decodable from (master seed, id) alone.
+func VolumeSeed(master uint64, id uint32) uint64 {
+	return xrand.Derive(master, volumeSeedTag^uint64(id)).Uint64()
+}
+
+// archiveIndexSeed is the shared index-mask seed of all volumes of this
+// archive (see Params.IndexSeed). It must be non-zero so derived codecs do
+// not fall back to their per-volume scrambler seed.
+func (c *Codec) archiveIndexSeed() uint64 {
+	s := c.p.IndexSeed
+	if s == 0 {
+		s = c.p.Seed
+	}
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+// VolumeCapacity returns the number of molecule indices reserved per volume
+// of the given payload size: the strand count of a full volume (header
+// included). All volumes of an archive reserve the full-volume capacity so
+// offsets are a pure multiplication even when the last volume runs short.
+func (c *Codec) VolumeCapacity(volumeBytes int) uint64 {
+	return uint64(c.Molecules(VolumeHeaderBytes + volumeBytes))
+}
+
+// VolumeCount returns the number of volumes an archive of totalBytes splits
+// into at the given volume payload size (at least 1: an empty archive still
+// frames one empty volume).
+func VolumeCount(totalBytes int64, volumeBytes int) int {
+	if totalBytes <= 0 {
+		return 1
+	}
+	return int((totalBytes + int64(volumeBytes) - 1) / int64(volumeBytes))
+}
+
+// VolumeCodec derives the codec that encodes/decodes volume id of an archive
+// split into volumeBytes-sized volumes: per-volume scrambler seed, shared
+// index mask, and the volume's slice of the archive index space.
+func (c *Codec) VolumeCodec(id uint32, volumeBytes int) (*Codec, error) {
+	if volumeBytes <= 0 {
+		return nil, fmt.Errorf("codec: volumeBytes must be positive, got %d", volumeBytes)
+	}
+	p := c.p
+	p.Seed = VolumeSeed(c.p.Seed, id)
+	p.IndexSeed = c.archiveIndexSeed()
+	p.IndexOffset = uint64(id) * c.VolumeCapacity(volumeBytes)
+	return NewCodec(p)
+}
+
+// EncodeVolume frames data as volume id of the archive and encodes it into
+// DNA strands with the volume's derived codec. len(data) must not exceed
+// volumeBytes; only the final volume of an archive may run short.
+func (c *Codec) EncodeVolume(id uint32, volumeBytes int, data []byte) ([]dna.Seq, error) {
+	if len(data) > volumeBytes {
+		return nil, fmt.Errorf("codec: volume %d carries %d bytes, exceeding volumeBytes=%d", id, len(data), volumeBytes)
+	}
+	vc, err := c.VolumeCodec(id, volumeBytes)
+	if err != nil {
+		return nil, err
+	}
+	framed := make([]byte, VolumeHeaderBytes+len(data))
+	copy(framed, volumeMagic[:])
+	binary.BigEndian.PutUint16(framed[6:], uint16(c.p.N))
+	binary.BigEndian.PutUint16(framed[8:], uint16(c.p.K))
+	binary.BigEndian.PutUint16(framed[10:], uint16(c.p.PayloadBytes))
+	binary.BigEndian.PutUint32(framed[12:], id)
+	binary.BigEndian.PutUint64(framed[16:], uint64(len(data)))
+	binary.BigEndian.PutUint32(framed[24:], crc32.ChecksumIEEE(data))
+	copy(framed[VolumeHeaderBytes:], data)
+	return vc.EncodeFile(framed)
+}
+
+// parseVolumeHeader validates a decoded volume frame against the expected id
+// and the decoding codec's geometry.
+func (c *Codec) parseVolumeHeader(raw []byte, id uint32) (VolumeHeader, error) {
+	var h VolumeHeader
+	if len(raw) < VolumeHeaderBytes {
+		return h, fmt.Errorf("%w (%w): volume %d decoded to %d bytes, need %d for the header",
+			ErrVolumeHeader, ErrDecode, id, len(raw), VolumeHeaderBytes)
+	}
+	if [5]byte(raw[:5]) != volumeMagic {
+		return h, fmt.Errorf("%w (%w): volume %d magic %x, want %x", ErrVolumeHeader, ErrDecode, id, raw[:5], volumeMagic)
+	}
+	h.N = int(binary.BigEndian.Uint16(raw[6:]))
+	h.K = int(binary.BigEndian.Uint16(raw[8:]))
+	h.PayloadBytes = int(binary.BigEndian.Uint16(raw[10:]))
+	h.ID = binary.BigEndian.Uint32(raw[12:])
+	h.PayloadLen = binary.BigEndian.Uint64(raw[16:])
+	h.CRC = binary.BigEndian.Uint32(raw[24:])
+	if h.ID != id {
+		return h, fmt.Errorf("%w (%w): strands frame volume %d, expected %d", ErrVolumeHeader, ErrDecode, h.ID, id)
+	}
+	if h.N != c.p.N || h.K != c.p.K || h.PayloadBytes != c.p.PayloadBytes {
+		return h, fmt.Errorf("%w (%w): volume %d geometry N=%d K=%d payload=%d, codec has N=%d K=%d payload=%d",
+			ErrVolumeHeader, ErrDecode, id, h.N, h.K, h.PayloadBytes, c.p.N, c.p.K, c.p.PayloadBytes)
+	}
+	if h.PayloadLen > uint64(len(raw)-VolumeHeaderBytes) {
+		return h, fmt.Errorf("%w (%w): volume %d header claims %d payload bytes but only %d decoded",
+			ErrVolumeHeader, ErrDecode, id, h.PayloadLen, len(raw)-VolumeHeaderBytes)
+	}
+	return h, nil
+}
+
+// DecodeVolumeContext reassembles and error-corrects one volume from
+// reconstructed strands, verifying the frame header and payload checksum.
+// In best-effort mode a checksum mismatch degrades to a Partial report
+// instead of an error, so one damaged volume yields its salvageable bytes
+// rather than failing the archive.
+func (c *Codec) DecodeVolumeContext(ctx context.Context, id uint32, volumeBytes int, strands []dna.Seq, opts DecodeOptions) (VolumeHeader, []byte, Report, error) {
+	vc, err := c.VolumeCodec(id, volumeBytes)
+	if err != nil {
+		return VolumeHeader{}, nil, Report{}, err
+	}
+	raw, rep, err := vc.DecodeFileContext(ctx, strands, opts)
+	if err != nil {
+		return VolumeHeader{}, nil, rep, err
+	}
+	h, err := c.parseVolumeHeader(raw, id)
+	if err != nil {
+		return h, nil, rep, err
+	}
+	data := raw[VolumeHeaderBytes : VolumeHeaderBytes+h.PayloadLen]
+	if crc32.ChecksumIEEE(data) != h.CRC {
+		if !opts.BestEffort {
+			return h, nil, rep, fmt.Errorf("%w (%w): volume %d", ErrVolumeChecksum, ErrDecode, id)
+		}
+		rep.Partial = true
+	}
+	return h, data, rep, nil
+}
+
+// ReadVolumeID routes a (possibly noisy) read to the volume its index prefix
+// claims: the index field is unmasked with the archive-wide index mask and
+// divided by the per-volume capacity. It reports false when the read is too
+// short to contain an index or the index lies outside the archive's address
+// space — such reads belong in the demux spill shard. Routing is
+// position-based and best-effort: an indel inside the prefix can misroute a
+// read, which downstream clustering and the outer code absorb.
+func (c *Codec) ReadVolumeID(read dna.Seq, capacity uint64) (uint32, bool) {
+	if capacity == 0 {
+		return 0, false
+	}
+	skip := 0
+	if c.p.Primers != nil {
+		skip = len(c.p.Primers.Forward)
+	}
+	if len(read) < skip+c.p.IndexBases {
+		return 0, false
+	}
+	idx := dna.DecodeUint(read[skip:skip+c.p.IndexBases]) ^ c.volumeIndexMask()
+	if idx >= c.maxMolecules() {
+		return 0, false
+	}
+	return uint32(idx / capacity), true
+}
+
+// volumeIndexMask is the archive-wide index mask shared by every volume
+// codec: the base codec computes it from its archive index seed so demux can
+// unmask prefixes without constructing a volume codec first.
+func (c *Codec) volumeIndexMask() uint64 {
+	var b [8]byte
+	xrand.Keystream(c.archiveIndexSeed()^0x1db5_a2ca_7745_9f01, b[:])
+	var m uint64
+	for i, v := range b {
+		m |= uint64(v) << (8 * uint(i))
+	}
+	return m & (c.maxMolecules() - 1)
+}

@@ -1,0 +1,196 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+func testVolumeCodec(t *testing.T) *Codec {
+	t.Helper()
+	c, err := NewCodec(Params{N: 12, K: 8, PayloadBytes: 10, Seed: 42, IndexBases: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEncodeFileUnchangedByNewParams(t *testing.T) {
+	// The zero values of IndexSeed/IndexOffset must keep EncodeFile
+	// byte-identical to the pre-volume behaviour: same index mask (from
+	// Seed), same indices starting at 0.
+	c := testVolumeCodec(t)
+	data := []byte("volume framing must not disturb the classic single-file path")
+	strands, err := c.EncodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range strands {
+		idx, _, err := c.ParseStrand(s)
+		if err != nil {
+			t.Fatalf("strand %d: %v", i, err)
+		}
+		if idx != uint64(i) {
+			t.Fatalf("strand %d parsed to index %d; zero IndexOffset must keep indices dense from 0", i, idx)
+		}
+	}
+	got, rep, err := c.DecodeFile(strands)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: err=%v clean=%v", err, rep.Clean())
+	}
+}
+
+func TestVolumeRoundTrip(t *testing.T) {
+	c := testVolumeCodec(t)
+	const volumeBytes = 200
+	rng := xrand.New(9)
+	archive := make([]byte, 3*volumeBytes-57) // last volume runs short
+	for i := range archive {
+		archive[i] = byte(rng.Intn(256))
+	}
+	n := VolumeCount(int64(len(archive)), volumeBytes)
+	if n != 3 {
+		t.Fatalf("VolumeCount = %d, want 3", n)
+	}
+	var recovered []byte
+	for id := 0; id < n; id++ {
+		lo := id * volumeBytes
+		hi := min(lo+volumeBytes, len(archive))
+		strands, err := c.EncodeVolume(uint32(id), volumeBytes, archive[lo:hi])
+		if err != nil {
+			t.Fatalf("encode volume %d: %v", id, err)
+		}
+		h, data, rep, err := c.DecodeVolumeContext(context.Background(), uint32(id), volumeBytes, strands, DecodeOptions{})
+		if err != nil {
+			t.Fatalf("decode volume %d: %v", id, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("volume %d report not clean: %s", id, rep)
+		}
+		if h.ID != uint32(id) || h.PayloadLen != uint64(hi-lo) {
+			t.Fatalf("volume %d header = %+v", id, h)
+		}
+		recovered = append(recovered, data...)
+	}
+	if !bytes.Equal(recovered, archive) {
+		t.Fatal("volume-sharded round trip corrupted the archive")
+	}
+}
+
+func TestVolumeIndexSpaceAndDemux(t *testing.T) {
+	c := testVolumeCodec(t)
+	const volumeBytes = 200
+	capacity := c.VolumeCapacity(volumeBytes)
+	if capacity == 0 {
+		t.Fatal("zero capacity")
+	}
+	for id := uint32(0); id < 3; id++ {
+		data := bytes.Repeat([]byte{byte(id + 1)}, volumeBytes)
+		strands, err := c.EncodeVolume(id, volumeBytes, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vc, err := c.VolumeCodec(id, volumeBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range strands {
+			idx, _, err := vc.ParseStrand(s)
+			if err != nil {
+				t.Fatalf("volume %d strand %d: %v", id, i, err)
+			}
+			if idx/capacity != uint64(id) {
+				t.Fatalf("volume %d strand %d has index %d outside its slice (capacity %d)", id, i, idx, capacity)
+			}
+			// Demux must route every clean strand by prefix alone.
+			got, ok := c.ReadVolumeID(s, capacity)
+			if !ok || got != id {
+				t.Fatalf("ReadVolumeID(volume %d strand %d) = %d, %v", id, i, got, ok)
+			}
+		}
+	}
+	// Too-short reads are unroutable, never misrouted.
+	if _, ok := c.ReadVolumeID(dna.Seq{0, 1, 2}, capacity); ok {
+		t.Fatal("ReadVolumeID routed a read shorter than the index prefix")
+	}
+}
+
+func TestVolumeSeedsIndependent(t *testing.T) {
+	// Identical plaintext in different volumes must encode to different
+	// strands (per-volume keystream) or the randomization guarantee is lost.
+	c := testVolumeCodec(t)
+	data := bytes.Repeat([]byte{0xAA}, 120)
+	s0, err := c.EncodeVolume(0, 200, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.EncodeVolume(1, 200, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VolumeSeed(42, 0) == VolumeSeed(42, 1) {
+		t.Fatal("volume seeds collide")
+	}
+	same := 0
+	for i := range s0 {
+		// Compare payload regions only; indices differ by construction.
+		if s0[i][c.Params().IndexBases:].Equal(s1[i][c.Params().IndexBases:]) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d strands share payload bases across volumes; keystreams must differ", same)
+	}
+}
+
+func TestDecodeVolumeWrongID(t *testing.T) {
+	c := testVolumeCodec(t)
+	strands, err := c.EncodeVolume(1, 200, []byte("hello volume one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoding volume 1's strands as volume 0 must fail loudly: the derived
+	// seed and index range differ, so nothing should parse.
+	_, _, _, err = c.DecodeVolumeContext(context.Background(), 0, 200, strands, DecodeOptions{})
+	if err == nil {
+		t.Fatal("decoding with the wrong volume id succeeded")
+	}
+	if !errors.Is(err, ErrDecode) {
+		t.Fatalf("error %v does not wrap ErrDecode", err)
+	}
+}
+
+func TestDecodeVolumeChecksum(t *testing.T) {
+	c := testVolumeCodec(t)
+	data := []byte("checksummed volume payload 012345678901234567890123456789")
+	strands, err := c.EncodeVolume(0, 200, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, got, rep, err := c.DecodeVolumeContext(context.Background(), 0, 200, strands, DecodeOptions{})
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("clean volume decode failed: %v", err)
+	}
+	if h.CRC == 0 {
+		t.Fatal("header CRC not populated")
+	}
+	if rep.Partial {
+		t.Fatal("clean decode reported Partial")
+	}
+}
+
+func TestVolumeCodecIndexOverflow(t *testing.T) {
+	// IndexBases=4 addresses 256 molecules; a high volume id must be
+	// rejected rather than silently wrapping into another volume's range.
+	c, err := NewCodec(Params{N: 12, K: 8, PayloadBytes: 10, Seed: 1, IndexBases: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeVolume(40, 200, []byte("x")); err == nil {
+		t.Fatal("encoding a volume beyond the index space succeeded")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"dnastore/internal/dna"
 	"dnastore/internal/recon"
 	"dnastore/internal/sim"
+	"dnastore/internal/xrand"
 )
 
 // Simulator produces noisy reads from encoded strands. The default wraps
@@ -71,6 +72,42 @@ func (r ReadsSource) Simulate(context.Context, []dna.Seq) ([]sim.Read, error) {
 	return out, nil
 }
 
+// VolumeSimulator is implemented by simulators that can derive an
+// independent, deterministic noise stream per archive volume. The streaming
+// runtime prefers it over Simulator so that a volume's reads depend only on
+// (options, volume id) — never on which other volumes are in flight — which
+// is what makes streamed output byte-identical at any worker count and
+// in-flight depth. Simulators without it are called through Simulate once
+// per volume (still deterministic, but every volume sees the same noise
+// pattern).
+type VolumeSimulator interface {
+	Simulator
+	SimulateVolume(ctx context.Context, volume uint32, strands []dna.Seq) ([]sim.Read, error)
+}
+
+// VolumeClusterer is the clustering analogue of VolumeSimulator: a
+// deterministic per-volume seed derivation so shard clustering is a pure
+// function of (options, volume id, reads).
+type VolumeClusterer interface {
+	Clusterer
+	ClusterVolume(ctx context.Context, volume uint32, reads []dna.Seq) (cluster.Result, error)
+}
+
+// Per-volume seed streams of the streaming runtime. Each stage derives its
+// volume seed under its own tag so the codec, simulator and clusterer
+// streams never collide.
+const (
+	simVolumeSeedTag     = 0x73_696d_766f_6c75 // "simvolu"
+	clusterVolumeSeedTag = 0x636c_7573_766f_6c // "clusvol"
+)
+
+// SimulateVolume implements VolumeSimulator with a per-volume derived seed.
+func (p PoolSimulator) SimulateVolume(ctx context.Context, volume uint32, strands []dna.Seq) ([]sim.Read, error) {
+	o := p.Options
+	o.Seed = xrand.Derive(o.Seed, simVolumeSeedTag^uint64(volume)).Uint64()
+	return sim.SimulatePoolContext(ctx, strands, o)
+}
+
 // OptionsClusterer adapts cluster.Options to the Clusterer interface.
 type OptionsClusterer struct {
 	Options cluster.Options
@@ -79,6 +116,13 @@ type OptionsClusterer struct {
 // Cluster implements Clusterer.
 func (c OptionsClusterer) Cluster(ctx context.Context, reads []dna.Seq) (cluster.Result, error) {
 	return cluster.ClusterContext(ctx, reads, c.Options)
+}
+
+// ClusterVolume implements VolumeClusterer with a per-volume derived seed.
+func (c OptionsClusterer) ClusterVolume(ctx context.Context, volume uint32, reads []dna.Seq) (cluster.Result, error) {
+	o := c.Options
+	o.Seed = xrand.Derive(o.Seed, clusterVolumeSeedTag^uint64(volume)).Uint64()
+	return cluster.ClusterContext(ctx, reads, o)
 }
 
 // ShardedClusterer adapts the distributed clustering variant (§VI-A) to the
@@ -93,6 +137,13 @@ type ShardedClusterer struct {
 // Cluster implements Clusterer.
 func (c ShardedClusterer) Cluster(ctx context.Context, reads []dna.Seq) (cluster.Result, error) {
 	return cluster.ShardedContext(ctx, reads, c.Shards, c.Options)
+}
+
+// ClusterVolume implements VolumeClusterer with a per-volume derived seed.
+func (c ShardedClusterer) ClusterVolume(ctx context.Context, volume uint32, reads []dna.Seq) (cluster.Result, error) {
+	o := c.Options
+	o.Seed = xrand.Derive(o.Seed, clusterVolumeSeedTag^uint64(volume)).Uint64()
+	return cluster.ShardedContext(ctx, reads, c.Shards, o)
 }
 
 // AlgorithmReconstructor adapts a recon.Algorithm to the Reconstructor
@@ -133,18 +184,50 @@ func New(c *codec.Codec, simOpts sim.Options, clusterOpts cluster.Options, algo 
 	}
 }
 
-// StageTimes is the per-module latency breakdown (Table III).
+// StageTimes is the per-module latency breakdown (Table III). Every stage
+// field records *busy* time: the time some worker spent inside that stage,
+// summed across volumes when the streaming runtime processes several
+// concurrently. Wall records end-to-end elapsed time. In the serial batch
+// pipeline Wall ≈ Total(); under streaming the stages of different volumes
+// overlap, so Total() deliberately exceeds Wall — use Wall to answer "how
+// long did the run take" and Total() to answer "how much stage work was
+// done".
 type StageTimes struct {
 	Encode      time.Duration
 	Simulate    time.Duration
 	Cluster     time.Duration
 	Reconstruct time.Duration
 	Decode      time.Duration
+	// Wall is the end-to-end elapsed time of the run (0 on results produced
+	// before this field existed).
+	Wall time.Duration
 }
 
-// Total sums all stages.
+// Total sums the per-stage busy times. Under the streaming runtime this is
+// the total stage work performed, not the elapsed time — see Wall.
 func (s StageTimes) Total() time.Duration {
 	return s.Encode + s.Simulate + s.Cluster + s.Reconstruct + s.Decode
+}
+
+// Overlap reports how much stage work ran concurrently: Total()/Wall.
+// 1.0 means fully serial execution; values above 1 mean that much stage
+// work overlapped (the streaming runtime's pipelining win). 0 when Wall is
+// unknown.
+func (s StageTimes) Overlap() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Total()) / float64(s.Wall)
+}
+
+// add accumulates o's per-stage busy times into s (Wall is left alone: busy
+// time sums across concurrent volumes, elapsed time does not).
+func (s *StageTimes) add(o StageTimes) {
+	s.Encode += o.Encode
+	s.Simulate += o.Simulate
+	s.Cluster += o.Cluster
+	s.Reconstruct += o.Reconstruct
+	s.Decode += o.Decode
 }
 
 // Result reports everything a Run produced.
@@ -225,11 +308,12 @@ func (p *Pipeline) Run(data []byte, opts RunOptions) (Result, error) {
 // salvaged even closer to the fault (see sim.SimulatePoolContext,
 // recon.ReconstructAllContext and cluster.ClusterContext) and degrade the
 // run instead of failing it.
-func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions) (Result, error) {
-	var res Result
+func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions) (res Result, rerr error) {
 	if p.Codec == nil || p.Simulator == nil || p.Clusterer == nil || p.Reconstructor == nil {
 		return res, ErrNotConfigured
 	}
+	runStart := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
+	defer func() { res.Times.Wall = time.Since(runStart) }()
 
 	// Encode runs in-process and fast; it only honours pre-cancellation.
 	if ctx.Err() != nil {
@@ -279,70 +363,110 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 		res.SimReads = reads
 	}
 
-	// Reconstruct+decode attempt loop with escalation (see RunOptions).
-	// Reconstruct and Decode times accumulate across attempts.
+	outcome, err := p.runDecodePhase(ctx, decodeJob{
+		strands:   res.Strands,
+		targetLen: p.Codec.StrandLen(),
+		decode: func(ctx context.Context, recons []dna.Seq, o codec.DecodeOptions) ([]byte, codec.Report, error) {
+			return p.Codec.DecodeFileContext(ctx, recons, o)
+		},
+	}, opts, seqs, clu.Clusters, &res.Times)
+	res.Attempts = outcome.Attempts
+	res.Data, res.Report = outcome.Data, outcome.Report
+	if opts.KeepIntermediates {
+		res.ClusterSets, res.Reconstructed = outcome.ClusterSets, outcome.Reconstructed
+	}
+	return res, err
+}
+
+// decodeJob parameterizes the reconstruct+decode phase shared by the batch
+// pipeline (whole-archive DecodeFileContext) and the streaming runtime
+// (per-volume DecodeVolumeContext).
+type decodeJob struct {
+	// strands is the expected molecule count, for the all-clusters-dropped
+	// damage report.
+	strands int
+	// targetLen is the reconstruction target strand length.
+	targetLen int
+	// decode turns reconstructed strands into bytes.
+	decode func(ctx context.Context, recons []dna.Seq, o codec.DecodeOptions) ([]byte, codec.Report, error)
+}
+
+// decodeOutcome is what the attempt loop produced. ClusterSets and
+// Reconstructed describe the winning attempt (callers expose them only when
+// intermediates were requested).
+type decodeOutcome struct {
+	Data          []byte
+	Report        codec.Report
+	Attempts      int
+	ClusterSets   [][]int
+	Reconstructed []dna.Seq
+}
+
+// runDecodePhase is the reconstruct+decode attempt loop with escalation
+// (see RunOptions.Retries): each retry raises the cluster-size floor,
+// optionally switches reconstructor, and re-interprets the same clustering.
+// Reconstruct and Decode busy times accumulate into times across attempts.
+func (p *Pipeline) runDecodePhase(ctx context.Context, job decodeJob, opts RunOptions, seqs []dna.Seq, clusters [][]int, times *StageTimes) (decodeOutcome, error) {
+	var out decodeOutcome
 	var firstRecons []dna.Seq
 	var lastErr error
+	var err error
 	bestFailed := -1 // fewest failed codewords among data-producing attempts
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
-		res.Attempts = attempt + 1
+		out.Attempts = attempt + 1
 		minSize, reconstructor := escalation(attempt, opts, p.Reconstructor)
-		clusterSeqs, keptClusters := filterClusters(seqs, clu.Clusters, minSize)
+		clusterSeqs, keptClusters := filterClusters(seqs, clusters, minSize)
 		if len(clusterSeqs) == 0 {
 			// Escalation only drops more clusters; give up immediately with
 			// an accurate report: every expected molecule is missing.
-			res.Report = codec.Report{MissingColumns: res.Strands}
-			return res, noUsableClustersErr(minSize, len(clu.Clusters))
+			out.Report = codec.Report{MissingColumns: job.strands}
+			return out, noUsableClustersErr(minSize, len(clusters))
 		}
 		var recons []dna.Seq
-		start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
+		start := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 		err = runStage(ctx, "reconstruct", opts.StageTimeout, func(ctx context.Context) error {
 			var rerr error
-			recons, rerr = reconstructor.ReconstructAll(ctx, clusterSeqs, p.Codec.StrandLen())
+			recons, rerr = reconstructor.ReconstructAll(ctx, clusterSeqs, job.targetLen)
 			return rerr
 		})
-		res.Times.Reconstruct += time.Since(start)
+		times.Reconstruct += time.Since(start)
 		if err != nil {
-			return res, err // cancellation or stage panic aborts the run
+			return out, err // cancellation or stage panic aborts the run
 		}
 		if attempt == 0 {
 			firstRecons = recons
 		}
 
-		var out []byte
+		var data []byte
 		var report codec.Report
 		start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
 			var derr error
-			out, report, derr = p.Codec.DecodeFileContext(ctx, recons, codec.DecodeOptions{})
+			data, report, derr = job.decode(ctx, recons, codec.DecodeOptions{})
 			return derr
 		})
-		res.Times.Decode += time.Since(start)
+		times.Decode += time.Since(start)
 		if err == nil && report.FailedCodewords == 0 {
 			// Fully recovered (modulo repaired damage): done.
-			res.Data, res.Report = out, report
-			if opts.KeepIntermediates {
-				res.ClusterSets, res.Reconstructed = keptClusters, recons
-			}
-			return res, nil
+			out.Data, out.Report = data, report
+			out.ClusterSets, out.Reconstructed = keptClusters, recons
+			return out, nil
 		}
 		if err != nil && isAbort(err) {
-			return res, err
+			return out, err
 		}
 		if err == nil && (bestFailed < 0 || report.FailedCodewords < bestFailed) {
 			// Data came back but some codewords are beyond repair; keep the
 			// least-damaged attempt in case no retry does better.
 			bestFailed = report.FailedCodewords
-			res.Data, res.Report = out, report
-			if opts.KeepIntermediates {
-				res.ClusterSets, res.Reconstructed = keptClusters, recons
-			}
+			out.Data, out.Report = data, report
+			out.ClusterSets, out.Reconstructed = keptClusters, recons
 		}
 		if err != nil {
-			// DecodeFileContext populates its report even on failure; keep
-			// the last one so a failed Run still explains what it saw.
+			// The decoder populates its report even on failure; keep the
+			// last one so a failed run still explains what it saw.
 			if bestFailed < 0 {
-				res.Report = report
+				out.Report = report
 			}
 			lastErr = err
 		}
@@ -351,33 +475,33 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 	if bestFailed >= 0 {
 		// Legacy best-effort-by-default behaviour: data with failed
 		// codewords is returned without an error; Report flags the damage.
-		return res, nil
+		return out, nil
 	}
 	if opts.BestEffort {
 		// Every attempt failed outright: salvage whatever the first
 		// (least filtered) reconstruction allows, with the damage map.
-		var out []byte
+		var data []byte
 		var report codec.Report
-		start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
+		start := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
 		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
 			var derr error
-			out, report, derr = p.Codec.DecodeFileContext(ctx, firstRecons, codec.DecodeOptions{BestEffort: true})
+			data, report, derr = job.decode(ctx, firstRecons, codec.DecodeOptions{BestEffort: true})
 			return derr
 		})
-		res.Times.Decode += time.Since(start)
+		times.Decode += time.Since(start)
 		if err == nil {
-			res.Data, res.Report = out, report
-			return res, nil
+			out.Data, out.Report = data, report
+			return out, nil
 		}
 		if isAbort(err) {
-			return res, err
+			return out, err
 		}
 		lastErr = err
 	}
 	if opts.Retries > 0 {
-		return res, retriesExhaustedErr(res.Attempts, lastErr)
+		return out, retriesExhaustedErr(out.Attempts, lastErr)
 	}
-	return res, lastErr
+	return out, lastErr
 }
 
 // escalation returns the cluster-size floor and reconstructor for the given

@@ -27,6 +27,11 @@ var (
 	// ErrNoUsableClusters is returned when MinClusterSize filtering drops
 	// every cluster, leaving the decoder nothing to work with.
 	ErrNoUsableClusters = errors.New("core: no clusters survived filtering")
+	// ErrVolumeDamaged is returned by RunStream when one or more volumes
+	// could not be recovered and best-effort mode is off. The per-volume
+	// errors live in StreamResult.Volumes; the damaged regions of the output
+	// are zero-filled so surviving volumes keep their byte offsets.
+	ErrVolumeDamaged = errors.New("core: one or more volumes damaged")
 )
 
 // cancelErr wraps a cancellation observed before or during the named stage

@@ -13,6 +13,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -113,8 +114,17 @@ type PCROptions struct {
 // addressed by pair are amplified and sequenced, and reads of other files
 // leak in according to the primer distance. Reads are returned with their
 // origin file's index in Files() order, for evaluation; production decoding
-// uses only the sequences.
+// uses only the sequences. Access is AccessContext with a background context.
 func (p *Pool) Access(pair primer.Pair, opts PCROptions) ([]sim.Read, error) {
+	return p.AccessContext(context.Background(), pair, opts)
+}
+
+// AccessContext is Access with cooperative cancellation: the amplification
+// loop polls ctx between molecules, so a cancelled or deadline-exceeded
+// context aborts a large pool access promptly with the context's cause
+// instead of sequencing to completion. Cancellation does not perturb the
+// read stream: a run that completes yields exactly the reads Access would.
+func (p *Pool) AccessContext(ctx context.Context, pair primer.Pair, opts PCROptions) ([]sim.Read, error) {
 	if opts.Channel == nil {
 		return nil, errors.New("pool: PCROptions.Channel is required")
 	}
@@ -126,6 +136,9 @@ func (p *Pool) Access(pair primer.Pair, opts PCROptions) ([]sim.Read, error) {
 	}
 	var out []sim.Read
 	for fi, f := range p.files {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		d := primerDistance(f.Primers, pair)
 		eff := math.Pow(opts.Specificity, float64(d))
 		meanReads := float64(opts.Coverage) * eff
@@ -134,6 +147,9 @@ func (p *Pool) Access(pair primer.Pair, opts PCROptions) ([]sim.Read, error) {
 		}
 		rng := xrand.Derive(opts.Seed, uint64(fi))
 		for si, s := range f.Strands {
+			if si&255 == 255 && ctx.Err() != nil {
+				return nil, context.Cause(ctx)
+			}
 			n := rng.Poisson(meanReads)
 			for c := 0; c < n; c++ {
 				read := opts.Channel.Transmit(rng, s)

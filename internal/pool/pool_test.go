@@ -2,6 +2,7 @@ package pool
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -188,5 +189,40 @@ func TestAccessValidation(t *testing.T) {
 	reads, err := p.Access(pairs[0], PCROptions{Channel: sim.CalibratedIID(0.01)})
 	if err != nil || len(reads) != 0 {
 		t.Fatalf("empty pool access: %v %v", reads, err)
+	}
+}
+
+func TestAccessContextCancellation(t *testing.T) {
+	pairs := designPairs(t, 1)
+	strands := encodeFile(t, &pairs[0], bytes.Repeat([]byte("cancellable pool"), 50))
+	var p Pool
+	if err := p.Store("a", pairs[0], strands); err != nil {
+		t.Fatal(err)
+	}
+	opts := PCROptions{Channel: sim.NewIIDChannel(0, 0, 0), Coverage: 5, Seed: 3}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.AccessContext(ctx, pairs[0], opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled access returned %v, want context.Canceled", err)
+	}
+
+	// A run that completes must match Access exactly: the context plumbing
+	// cannot perturb the deterministic read stream.
+	want, err := p.Access(pairs[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.AccessContext(context.Background(), pairs[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AccessContext yielded %d reads, Access %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Seq.Equal(want[i].Seq) || got[i].Origin != want[i].Origin {
+			t.Fatalf("read %d differs between Access and AccessContext", i)
+		}
 	}
 }
