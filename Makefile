@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet fmt lint fuzz-smoke bench bench-json bench-smoke bench-ci bench-compare stream-smoke experiments experiments-quick examples clean
+.PHONY: all build test test-short race vet fmt lint fuzz-smoke bench bench-json bench-smoke bench-ci bench-compare stream-smoke archive-smoke experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -87,6 +87,13 @@ bench-compare:
 # archive size. Opt-in via env var so plain `go test ./...` stays fast.
 stream-smoke:
 	DNASTORE_STREAM_SMOKE=1 GOMEMLIMIT=256MiB $(GO) test -race -run TestStreamSmoke -v -timeout 30m ./internal/core
+
+# Crash-resume proof for the distributed archive runtime: two real worker
+# processes over one archive, one SIGKILLed mid-volume and restarted, the
+# fleet's output diffed against a single-process RunStream — under the race
+# detector. Opt-in via env var so plain `go test ./...` stays fast.
+archive-smoke:
+	DNASTORE_ARCHIVE_SMOKE=1 $(GO) test -race -run TestArchiveCrashResumeSmoke -v -timeout 20m ./internal/archive
 
 # Regenerate every table and figure of the paper at full scale.
 experiments:

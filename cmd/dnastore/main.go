@@ -51,6 +51,12 @@ func main() {
 		err = cmdDecode(os.Args[2:])
 	case "pipeline":
 		err = cmdPipeline(os.Args[2:])
+	case "encode-archive":
+		err = cmdEncodeArchive(os.Args[2:])
+	case "decode-worker":
+		err = cmdDecodeWorker(os.Args[2:])
+	case "coordinate":
+		err = cmdCoordinate(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,6 +72,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dnastore <encode|simulate|preprocess|cluster|reconstruct|decode|pipeline> [flags]
+       dnastore <encode-archive|decode-worker|coordinate> [flags]   # crash-restartable multi-process decode
 run "dnastore <subcommand> -h" for flags`)
 }
 

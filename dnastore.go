@@ -27,6 +27,7 @@
 package dnastore
 
 import (
+	"dnastore/internal/archive"
 	"dnastore/internal/chaos"
 	"dnastore/internal/cluster"
 	"dnastore/internal/codec"
@@ -240,6 +241,74 @@ type (
 	VolumeSimulator = core.VolumeSimulator
 	// VolumeClusterer is a Clusterer with deterministic per-volume seeding.
 	VolumeClusterer = core.VolumeClusterer
+	// VolumeOutcome classifies one volume's decode: decoded, salvaged or
+	// failed.
+	VolumeOutcome = core.VolumeOutcome
+	// VolumeWork is one volume's unit of decode work (reads + expectations).
+	VolumeWork = core.VolumeWork
+)
+
+// Volume outcome constants.
+const (
+	// OutcomeDecoded marks a clean, fully verified volume decode.
+	OutcomeDecoded = core.OutcomeDecoded
+	// OutcomeSalvaged marks a best-effort decode with a damage map.
+	OutcomeSalvaged = core.OutcomeSalvaged
+	// OutcomeFailed marks a volume whose decode failed outright.
+	OutcomeFailed = core.OutcomeFailed
+)
+
+// Crash-restartable distributed archive (internal/archive): a durable
+// manifest written at encode time, plus independent worker processes that
+// claim volumes through lease files, checkpoint per-volume progress, and may
+// be killed and restarted at any point — the fleet converges to bytes
+// identical to a single-process Pipeline.RunStream.
+type (
+	// Manifest is the durable archive catalog: codec geometry, seed
+	// material, and per-volume offsets, lengths and checksums.
+	Manifest = codec.Manifest
+	// ManifestVolume is one volume's manifest entry.
+	ManifestVolume = codec.ManifestVolume
+	// ArchiveDir resolves the well-known paths inside an archive directory.
+	ArchiveDir = archive.Dir
+	// ArchiveWorkerOptions configures one archive decode worker.
+	ArchiveWorkerOptions = archive.WorkerOptions
+	// ArchiveWorkerResult summarizes one worker's contribution.
+	ArchiveWorkerResult = archive.WorkerResult
+	// ArchiveCheckpoint is a volume's durable commit record.
+	ArchiveCheckpoint = archive.Checkpoint
+	// ArchiveAuditReport verifies decode output against the manifest and
+	// checkpoints.
+	ArchiveAuditReport = archive.AuditReport
+	// ArchiveHooks are chaos/test instrumentation points in the worker's
+	// commit sequence.
+	ArchiveHooks = archive.Hooks
+)
+
+// Archive functions re-exported from the archive package.
+var (
+	// BuildArchive encodes a stream into an archive directory: framed read
+	// shards plus a manifest written last.
+	BuildArchive = archive.Build
+	// RunArchiveWorker decodes archive volumes until every volume has a
+	// valid checkpoint; safe to run many times concurrently, in one process
+	// or many.
+	RunArchiveWorker = archive.RunWorker
+	// AuditArchive verifies a decode output against the archive's manifest
+	// and checkpoints.
+	AuditArchive = archive.Audit
+	// ReadManifest loads and validates an archive manifest.
+	ReadManifest = codec.ReadManifest
+	// ReadArchiveCheckpoint loads and validates one volume's commit record.
+	ReadArchiveCheckpoint = archive.ReadCheckpoint
+	// ErrCheckpointCorrupt marks a torn or damaged checkpoint file; workers
+	// respond by redoing the volume, which is idempotent.
+	ErrCheckpointCorrupt = archive.ErrCheckpointCorrupt
+	// ErrManifest marks a damaged or inconsistent archive manifest.
+	ErrManifest = codec.ErrManifest
+	// ErrVolumeTruncated marks a volume frame cut short by a torn write or
+	// truncated file tail.
+	ErrVolumeTruncated = codec.ErrVolumeTruncated
 )
 
 // Typed sentinel errors of the fault-tolerant runtime, matchable with
@@ -288,6 +357,12 @@ type (
 	// ChaosAlgorithm panics on every Nth reconstructed cluster, exercising
 	// the reconstruction worker pool's per-cluster salvage path.
 	ChaosAlgorithm = chaos.Algorithm
+	// ChaosProcessKiller SIGKILLs the current process on the Nth strike —
+	// wire it to ArchiveHooks.OutputWritten to die exactly mid-volume.
+	ChaosProcessKiller = chaos.ProcessKiller
+	// ChaosTornCheckpoints tears the first N checkpoint writes at a seeded
+	// random byte offset, simulating crash-torn commit records.
+	ChaosTornCheckpoints = chaos.TornCheckpoints
 )
 
 // NewPipeline assembles a pipeline with default module adapters.

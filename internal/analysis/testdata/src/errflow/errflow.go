@@ -57,3 +57,79 @@ func exemptBuilder() string {
 func allowedDrop() {
 	_ = mk() //dnalint:allow errflow -- golden test: the drop is the behaviour under test
 }
+
+// The shapes below mirror the archive runtime's durable file handling:
+// closes, removes and syncs whose errors decide whether a commit record can
+// be trusted. Dropping them silently is exactly how torn state goes
+// unnoticed, so every unreasoned drop must flag.
+
+type file struct{}
+
+func (file) Close() error                { return nil }
+func (file) Sync() error                 { return nil }
+func (file) Write(p []byte) (int, error) { return len(p), nil }
+
+func open() (file, error) { return file{}, nil }
+
+func dropCloseStmt() {
+	f, err := open()
+	if err != nil {
+		return
+	}
+	f.Close() // want "includes an error that is silently dropped"
+}
+
+func dropSyncBeforeCommit() {
+	f, err := open()
+	if err != nil {
+		return
+	}
+	f.Sync()      // want "includes an error that is silently dropped"
+	_ = f.Close() // want "error value is discarded with _"
+}
+
+func dropDeferredClose() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred result of"
+	_, err = f.Write([]byte("payload"))
+	return err
+}
+
+func checkedCommitSequence() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func closeErrorJoinedWithDefer() (err error) {
+	f, oerr := open()
+	if oerr != nil {
+		return oerr
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write([]byte("payload"))
+	return err
+}
+
+func allowedReadOnlyClose() {
+	f, err := open()
+	if err != nil {
+		return
+	}
+	f.Close() //dnalint:allow errflow -- read-only handle: a close error cannot lose data
+}

@@ -1,0 +1,168 @@
+// Package archive turns the streaming pipeline into a crash-restartable,
+// multi-process decode system. An archive directory is built once at encode
+// time (Build) and then decoded by any number of independent worker
+// processes (RunWorker) that coordinate through the filesystem alone:
+//
+//	dir/
+//	  MANIFEST.dvma   durable root: geometry, seeds, per-volume offsets/CRCs
+//	  shards.dvol     DVOL-framed per-volume read shards, concatenated
+//	  state/
+//	    vol-%08d.lease  liveness claim of the worker decoding the volume
+//	    vol-%08d.ckpt   commit record: the volume's bytes are on disk
+//
+// Crash consistency rests on determinism, not on locking: a volume's decode
+// is a pure function of (manifest, shard bytes, decode options) — see
+// core.DecodeVolume — and its output lands at a fixed offset, so redoing a
+// volume is idempotent. A checkpoint is written only after the volume's
+// output bytes are synced, and the checkpoint file itself is framed with a
+// CRC and length so any torn write is detected and the volume simply redone.
+// Leases are a liveness/efficiency mechanism only: they keep two live
+// workers off the same volume, but even if both decode it (stale-lease
+// takeover racing a slow worker) they write identical bytes. Any worker may
+// be SIGKILLed at any instruction and a restarted fleet converges to output
+// byte-identical to a single-process core.RunStream run.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dnastore/internal/dna"
+)
+
+// Archive directory layout.
+const (
+	// ManifestName is the manifest file within an archive directory.
+	ManifestName = "MANIFEST.dvma"
+	// ShardsName is the concatenated per-volume read-shard file.
+	ShardsName = "shards.dvol"
+	// StateDirName holds the per-volume lease and checkpoint files.
+	StateDirName = "state"
+)
+
+// Dir resolves the well-known paths inside an archive directory.
+type Dir string
+
+// ManifestPath returns the manifest file path.
+func (d Dir) ManifestPath() string { return filepath.Join(string(d), ManifestName) }
+
+// ShardsPath returns the read-shard file path.
+func (d Dir) ShardsPath() string { return filepath.Join(string(d), ShardsName) }
+
+// StatePath returns the lease/checkpoint directory path.
+func (d Dir) StatePath() string { return filepath.Join(string(d), StateDirName) }
+
+// LeasePath returns volume id's lease file path.
+func (d Dir) LeasePath(id uint32) string {
+	return filepath.Join(d.StatePath(), fmt.Sprintf("vol-%08d.lease", id))
+}
+
+// CheckpointPath returns volume id's checkpoint file path.
+func (d Dir) CheckpointPath(id uint32) string {
+	return filepath.Join(d.StatePath(), fmt.Sprintf("vol-%08d.ckpt", id))
+}
+
+// AtomicWriteFile durably writes data to path via a same-directory temp
+// file, fsync and rename, so a crash at any instruction leaves either the
+// previous file or none — never a torn one. The temp name includes suffix
+// from the caller's identity so concurrent writers (a takeover racing the
+// old owner) cannot corrupt each other's temp files.
+func AtomicWriteFile(path string, data []byte, suffix string) (err error) {
+	tmp := path + ".tmp" + suffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()      //dnalint:allow errflow -- already failing; the close error cannot add information
+			os.Remove(tmp) //dnalint:allow errflow -- best-effort cleanup of the temp file on the failure path
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Filesystems that refuse to sync directories are tolerated: the rename is
+// still atomic, only its durability window grows.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //dnalint:allow errflow -- read-only directory handle: a close error cannot lose data
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// marshalReads serializes a volume's read shard: a uvarint read count, then
+// per read a uvarint length and one byte per base. Reads are 2-bit codes so
+// this is 4× larger than bit-packed, but shard files are decode-time
+// scratch, not the synthesized archive, and byte-per-base keeps the decode
+// hot path allocation-free on top of the deserialized slices.
+func marshalReads(reads []dna.Seq) []byte {
+	size := binary.MaxVarintLen64
+	for _, r := range reads {
+		size += binary.MaxVarintLen64 + len(r)
+	}
+	out := make([]byte, 0, size)
+	out = binary.AppendUvarint(out, uint64(len(reads)))
+	for _, r := range reads {
+		out = binary.AppendUvarint(out, uint64(len(r)))
+		for _, b := range r {
+			out = append(out, byte(b))
+		}
+	}
+	return out
+}
+
+// errShard marks a shard payload whose serialization is malformed. The
+// frame CRC catches random damage first; this guards the framing itself.
+var errShard = errors.New("archive: malformed read shard")
+
+// unmarshalReads parses a shard serialized by marshalReads.
+func unmarshalReads(raw []byte) ([]dna.Seq, error) {
+	count, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad read count", errShard)
+	}
+	raw = raw[n:]
+	if count > uint64(len(raw)) { // each read costs ≥1 byte of length prefix
+		return nil, fmt.Errorf("%w: %d reads claimed in %d bytes", errShard, count, len(raw))
+	}
+	reads := make([]dna.Seq, 0, count)
+	for i := uint64(0); i < count; i++ {
+		length, n := binary.Uvarint(raw)
+		if n <= 0 || length > uint64(len(raw)-n) {
+			return nil, fmt.Errorf("%w: read %d length prefix", errShard, i)
+		}
+		raw = raw[n:]
+		seq := make(dna.Seq, length)
+		for j := range seq {
+			seq[j] = dna.Base(raw[j] & 3)
+		}
+		raw = raw[length:]
+		reads = append(reads, seq)
+	}
+	if len(raw) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errShard, len(raw))
+	}
+	return reads, nil
+}

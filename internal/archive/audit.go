@@ -1,0 +1,171 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+
+	"dnastore/internal/codec"
+	"dnastore/internal/core"
+)
+
+// AuditStatus classifies one volume's standing in a final audit.
+type AuditStatus uint8
+
+const (
+	// AuditOK: checkpoint valid and the output region's bytes match the
+	// record (manifest CRC for a clean decode, the worker's OutputCRC for a
+	// salvage/failure).
+	AuditOK AuditStatus = iota
+	// AuditMissing: no valid checkpoint — the volume was never committed
+	// (or its record is corrupt) and its region is untrustworthy.
+	AuditMissing
+	// AuditMismatch: a checkpoint exists but the output bytes do not match
+	// it — the output file was damaged or tampered with after commit.
+	AuditMismatch
+)
+
+// String returns the status name.
+func (s AuditStatus) String() string {
+	switch s {
+	case AuditOK:
+		return "ok"
+	case AuditMissing:
+		return "missing"
+	case AuditMismatch:
+		return "mismatch"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// VolumeAudit is one volume's audit record.
+type VolumeAudit struct {
+	// ID is the audited volume.
+	ID uint32
+	// Status is the verdict.
+	Status AuditStatus
+	// Outcome is the committed decode outcome (valid when Status != Missing).
+	Outcome core.VolumeOutcome
+	// DamageBytes, Attempts and SpilledReads echo the checkpoint.
+	DamageBytes, Attempts, SpilledReads int
+	// Err carries the committed failure reason or the audit's own finding.
+	Err string
+}
+
+// AuditReport is the result of auditing an archive's decode output.
+type AuditReport struct {
+	// Volumes holds one record per manifest volume, in id order.
+	Volumes []VolumeAudit
+	// Decoded, Salvaged and Failed count committed volumes by outcome;
+	// Missing and Mismatched count audit problems.
+	Decoded, Salvaged, Failed, Missing, Mismatched int
+}
+
+// Complete reports whether every volume has a valid commit record.
+func (r *AuditReport) Complete() bool { return r.Missing == 0 }
+
+// Clean reports whether every volume decoded cleanly and verified.
+func (r *AuditReport) Clean() bool { return r.Ok() && r.Salvaged == 0 && r.Failed == 0 }
+
+// Ok reports whether the output is trustworthy as committed: complete and
+// every region's bytes match its commit record (degraded volumes included —
+// they are honest about their damage).
+func (r *AuditReport) Ok() bool { return r.Complete() && r.Mismatched == 0 }
+
+// Degraded returns the audit records of volumes that are not verified clean
+// decodes.
+func (r *AuditReport) Degraded() []VolumeAudit {
+	var out []VolumeAudit
+	for _, v := range r.Volumes {
+		if v.Status != AuditOK || v.Outcome != core.OutcomeDecoded {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Audit verifies a decode output against the archive's manifest and
+// checkpoints: every volume must have a valid checkpoint, and the bytes at
+// its output region must hash to the manifest CRC (clean decode) or to the
+// checkpoint's recorded OutputCRC (salvaged/failed). It is read-only and
+// safe to run while workers are still going — volumes they have not
+// committed yet simply audit as missing.
+func Audit(dir, outPath string) (*AuditReport, error) {
+	d := Dir(dir)
+	m, err := codec.ReadManifest(d.ManifestPath())
+	if err != nil {
+		return nil, err
+	}
+	out, err := os.Open(outPath)
+	if err != nil {
+		return nil, err
+	}
+	defer out.Close() //dnalint:allow errflow -- read-only file: a close error cannot lose data
+	if st, err := out.Stat(); err != nil {
+		return nil, err
+	} else if st.Size() != m.ArchiveBytes {
+		return nil, fmt.Errorf("archive: output is %d bytes, manifest says %d", st.Size(), m.ArchiveBytes)
+	}
+
+	rep := &AuditReport{Volumes: make([]VolumeAudit, 0, len(m.Volumes))}
+	buf := make([]byte, m.VolumeBytes)
+	for _, mv := range m.Volumes {
+		va := VolumeAudit{ID: mv.ID}
+		ck, cerr := ReadCheckpoint(d.CheckpointPath(mv.ID))
+		switch {
+		case cerr == nil && ck.ID == mv.ID:
+			outcome, oerr := core.ParseOutcome(ck.Outcome)
+			if oerr != nil {
+				va.Status = AuditMissing
+				va.Err = oerr.Error()
+				break
+			}
+			va.Outcome = outcome
+			va.DamageBytes = ck.DamageBytes
+			va.Attempts = ck.Attempts
+			va.SpilledReads = ck.SpilledReads
+			va.Err = ck.Err
+			region := buf[:mv.Length]
+			if _, rerr := io.ReadFull(io.NewSectionReader(out, mv.Offset, mv.Length), region); rerr != nil {
+				return nil, fmt.Errorf("archive: audit read of volume %d: %w", mv.ID, rerr)
+			}
+			got := crc32.ChecksumIEEE(region)
+			want := mv.CRC
+			if outcome != core.OutcomeDecoded {
+				want = ck.OutputCRC
+			}
+			if got != want {
+				va.Status = AuditMismatch
+				va.Err = fmt.Sprintf("region CRC %08x, committed %08x", got, want)
+			}
+		case errors.Is(cerr, fs.ErrNotExist):
+			va.Status = AuditMissing
+			va.Err = "no checkpoint"
+		case errors.Is(cerr, ErrCheckpointCorrupt), cerr == nil:
+			va.Status = AuditMissing
+			va.Err = "checkpoint corrupt"
+		default:
+			return nil, cerr
+		}
+		switch va.Status {
+		case AuditMissing:
+			rep.Missing++
+		case AuditMismatch:
+			rep.Mismatched++
+		default:
+			switch va.Outcome {
+			case core.OutcomeDecoded:
+				rep.Decoded++
+			case core.OutcomeSalvaged:
+				rep.Salvaged++
+			default:
+				rep.Failed++
+			}
+		}
+		rep.Volumes = append(rep.Volumes, va)
+	}
+	return rep, nil
+}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"os"
+
+	"dnastore/internal/xrand"
+)
+
+// Process-level fault injectors for the distributed archive runtime
+// (internal/archive): a worker that dies without warning (ProcessKiller) and
+// a checkpoint that hits disk half-written (TornCheckpoints). Both are
+// deterministic — strike points depend only on configured counts and seeds —
+// so a crash-recovery test reproduces the same crash every run.
+
+// ProcessKiller kills the running process at the AfterN-th Strike call,
+// simulating a worker SIGKILLed mid-volume. Wire Strike into an archive
+// worker hook (e.g. after output bytes land but before the checkpoint
+// commits) to crash at an exact point in the volume lifecycle. Use a pointer
+// so the call counter is shared.
+type ProcessKiller struct {
+	// AfterN is the 1-based Strike call to die on; 0 never strikes.
+	AfterN int
+	// Kill overrides the default self-SIGKILL — tests that only want to
+	// observe the strike point substitute their own.
+	Kill  func()
+	calls counter
+}
+
+// Strike counts one pass through the instrumented point and kills the
+// process when the count reaches AfterN. On a strike it never returns.
+func (k *ProcessKiller) Strike() {
+	if k.AfterN <= 0 || k.calls.n.Add(1) != int64(k.AfterN) {
+		return
+	}
+	if k.Kill != nil {
+		k.Kill()
+		return
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		err = p.Kill()
+	}
+	if err != nil {
+		// Killing our own pid cannot fail on supported platforms; a strike
+		// that silently fizzles would invalidate the crash test.
+		panic("chaos: self-kill failed: " + err.Error())
+	}
+	// SIGKILL delivery is asynchronous: block so no instruction after the
+	// strike point ever executes.
+	select {}
+}
+
+// TornCheckpoints decorates a checkpoint-persistence function so its first
+// FirstN writes are torn: the payload is truncated at a seeded offset and
+// written directly to the final path — exactly the artifact a crash between
+// write and rename leaves behind — while reporting success, so the worker
+// carries on believing the checkpoint committed. Writes after FirstN pass
+// through, which guarantees a retrying worker converges. Use a pointer so
+// the write counter is shared.
+type TornCheckpoints struct {
+	// Seed drives the truncation offsets.
+	Seed uint64
+	// FirstN is how many leading writes are torn; 0 disables injection.
+	FirstN int
+	calls  counter
+}
+
+// WrapWrite returns the decorated persistence function.
+func (tc *TornCheckpoints) WrapWrite(inner func(path string, data []byte) error) func(path string, data []byte) error {
+	return func(path string, data []byte) error {
+		n := tc.calls.n.Add(1)
+		if tc.FirstN <= 0 || n > int64(tc.FirstN) {
+			return inner(path, data)
+		}
+		rng := xrand.Derive(tc.Seed, 0x70bc^uint64(n))
+		cut := 0
+		if len(data) > 0 {
+			cut = rng.Intn(len(data))
+		}
+		return os.WriteFile(path, data[:cut], 0o644)
+	}
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProcessKillerStrikesOnce(t *testing.T) {
+	kills := 0
+	k := &ProcessKiller{AfterN: 3, Kill: func() { kills++ }}
+	for i := 0; i < 10; i++ {
+		k.Strike()
+	}
+	if kills != 1 {
+		t.Fatalf("killer struck %d times, want exactly once (on call 3)", kills)
+	}
+	// Disabled killer never strikes.
+	k2 := &ProcessKiller{Kill: func() { t.Fatal("disabled killer struck") }}
+	for i := 0; i < 10; i++ {
+		k2.Strike()
+	}
+}
+
+func TestTornCheckpointsTearThenPass(t *testing.T) {
+	dir := t.TempDir()
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	inner := func(path string, data []byte) error {
+		return os.WriteFile(path, data, 0o644)
+	}
+	tc := &TornCheckpoints{Seed: 7, FirstN: 2}
+	write := tc.WrapWrite(inner)
+	for i := 0; i < 4; i++ {
+		path := filepath.Join(dir, "ckpt")
+		if err := write(path, payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 {
+			// Torn writes must be strictly shorter — a tear that writes the
+			// whole payload tests nothing.
+			if len(got) >= len(payload) {
+				t.Fatalf("write %d: torn write carried %d of %d bytes", i, len(got), len(payload))
+			}
+		} else if len(got) != len(payload) {
+			t.Fatalf("write %d: pass-through write carried %d of %d bytes", i, len(got), len(payload))
+		}
+	}
+	// Same seed, same tears.
+	tc2 := &TornCheckpoints{Seed: 7, FirstN: 2}
+	write2 := tc2.WrapWrite(inner)
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := write2(a, payload); err != nil {
+		t.Fatal(err)
+	}
+	tc3 := &TornCheckpoints{Seed: 7, FirstN: 2}
+	if err := tc3.WrapWrite(inner)(b, payload); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := os.ReadFile(a)
+	rb, _ := os.ReadFile(b)
+	if len(ra) != len(rb) {
+		t.Fatalf("same seed tore at different offsets: %d vs %d", len(ra), len(rb))
+	}
+}

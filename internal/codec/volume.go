@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 
 	"dnastore/internal/dna"
 	"dnastore/internal/xrand"
@@ -60,6 +61,12 @@ var (
 	// CRC — the outer code repaired the wrong thing or damage slipped
 	// through undetected.
 	ErrVolumeChecksum = errors.New("codec: volume checksum mismatch")
+	// ErrVolumeTruncated marks a volume whose frame header claims more
+	// payload bytes than are actually present — a torn tail, a truncated
+	// shard file, or a decode that came up short. In best-effort mode the
+	// volume counts as damaged and its available bytes are salvaged; it is
+	// never a silent EOF or a short-read panic.
+	ErrVolumeTruncated = errors.New("codec: volume truncated")
 )
 
 // volumeSeedTag separates the per-volume seed stream from every other
@@ -130,14 +137,12 @@ func (c *Codec) EncodeVolume(id uint32, volumeBytes int, data []byte) ([]dna.Seq
 	if err != nil {
 		return nil, err
 	}
+	header := EncodeVolumeHeader(VolumeHeader{
+		ID: id, N: c.p.N, K: c.p.K, PayloadBytes: c.p.PayloadBytes,
+		PayloadLen: uint64(len(data)), CRC: crc32.ChecksumIEEE(data),
+	})
 	framed := make([]byte, VolumeHeaderBytes+len(data))
-	copy(framed, volumeMagic[:])
-	binary.BigEndian.PutUint16(framed[6:], uint16(c.p.N))
-	binary.BigEndian.PutUint16(framed[8:], uint16(c.p.K))
-	binary.BigEndian.PutUint16(framed[10:], uint16(c.p.PayloadBytes))
-	binary.BigEndian.PutUint32(framed[12:], id)
-	binary.BigEndian.PutUint64(framed[16:], uint64(len(data)))
-	binary.BigEndian.PutUint32(framed[24:], crc32.ChecksumIEEE(data))
+	copy(framed, header[:])
 	copy(framed[VolumeHeaderBytes:], data)
 	return vc.EncodeFile(framed)
 }
@@ -168,9 +173,95 @@ func (c *Codec) parseVolumeHeader(raw []byte, id uint32) (VolumeHeader, error) {
 	}
 	if h.PayloadLen > uint64(len(raw)-VolumeHeaderBytes) {
 		return h, fmt.Errorf("%w (%w): volume %d header claims %d payload bytes but only %d decoded",
-			ErrVolumeHeader, ErrDecode, id, h.PayloadLen, len(raw)-VolumeHeaderBytes)
+			ErrVolumeTruncated, ErrDecode, id, h.PayloadLen, len(raw)-VolumeHeaderBytes)
 	}
 	return h, nil
+}
+
+// EncodeVolumeHeader renders h as the on-disk/on-strand 28-byte DVOL frame
+// header. PayloadLen and CRC must already describe the payload that follows.
+func EncodeVolumeHeader(h VolumeHeader) [VolumeHeaderBytes]byte {
+	var raw [VolumeHeaderBytes]byte
+	copy(raw[:], volumeMagic[:])
+	binary.BigEndian.PutUint16(raw[6:], uint16(h.N))
+	binary.BigEndian.PutUint16(raw[8:], uint16(h.K))
+	binary.BigEndian.PutUint16(raw[10:], uint16(h.PayloadBytes))
+	binary.BigEndian.PutUint32(raw[12:], h.ID)
+	binary.BigEndian.PutUint64(raw[16:], h.PayloadLen)
+	binary.BigEndian.PutUint32(raw[24:], h.CRC)
+	return raw
+}
+
+// DecodeVolumeHeader parses a standalone DVOL frame header, checking only the
+// frame itself (magic and length) — callers that know which volume and codec
+// they expect must cross-check ID and geometry themselves (the archive layer
+// validates both against its manifest).
+func DecodeVolumeHeader(raw []byte) (VolumeHeader, error) {
+	var h VolumeHeader
+	if len(raw) < VolumeHeaderBytes {
+		return h, fmt.Errorf("%w (%w): %d header bytes, need %d",
+			ErrVolumeTruncated, ErrDecode, len(raw), VolumeHeaderBytes)
+	}
+	if [5]byte(raw[:5]) != volumeMagic {
+		return h, fmt.Errorf("%w (%w): magic %x, want %x", ErrVolumeHeader, ErrDecode, raw[:5], volumeMagic)
+	}
+	h.N = int(binary.BigEndian.Uint16(raw[6:]))
+	h.K = int(binary.BigEndian.Uint16(raw[8:]))
+	h.PayloadBytes = int(binary.BigEndian.Uint16(raw[10:]))
+	h.ID = binary.BigEndian.Uint32(raw[12:])
+	h.PayloadLen = binary.BigEndian.Uint64(raw[16:])
+	h.CRC = binary.BigEndian.Uint32(raw[24:])
+	return h, nil
+}
+
+// WriteVolumeFrame writes one DVOL frame (header + payload) to w, filling in
+// h.PayloadLen and h.CRC from the payload. The archive layer uses it to store
+// each volume's demuxed reads as a self-describing shard record.
+func WriteVolumeFrame(w io.Writer, h VolumeHeader, payload []byte) error {
+	h.PayloadLen = uint64(len(payload))
+	h.CRC = crc32.ChecksumIEEE(payload)
+	raw := EncodeVolumeHeader(h)
+	if _, err := w.Write(raw[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadVolumeFrame reads one DVOL frame from r. At a clean end of stream it
+// returns io.EOF; a frame cut off mid-header or mid-payload returns
+// ErrVolumeTruncated, and a header whose claimed length exceeds maxPayload is
+// also ErrVolumeTruncated (a torn or corrupt length field must not drive a
+// multi-gigabyte allocation). A payload that fails its CRC returns
+// ErrVolumeChecksum alongside the bytes actually read.
+func ReadVolumeFrame(r io.Reader, maxPayload int64) (VolumeHeader, []byte, error) {
+	var raw [VolumeHeaderBytes]byte
+	n, err := io.ReadFull(r, raw[:])
+	if err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return VolumeHeader{}, nil, io.EOF
+		}
+		return VolumeHeader{}, nil, fmt.Errorf("%w (%w): frame cut off after %d of %d header bytes",
+			ErrVolumeTruncated, ErrDecode, n, VolumeHeaderBytes)
+	}
+	h, err := DecodeVolumeHeader(raw[:])
+	if err != nil {
+		return h, nil, err
+	}
+	if maxPayload >= 0 && h.PayloadLen > uint64(maxPayload) {
+		return h, nil, fmt.Errorf("%w (%w): volume %d header claims %d payload bytes, limit is %d",
+			ErrVolumeTruncated, ErrDecode, h.ID, h.PayloadLen, maxPayload)
+	}
+	payload := make([]byte, h.PayloadLen)
+	if n, err := io.ReadFull(r, payload); err != nil {
+		return h, nil, fmt.Errorf("%w (%w): volume %d frame cut off after %d of %d payload bytes",
+			ErrVolumeTruncated, ErrDecode, h.ID, n, h.PayloadLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != h.CRC {
+		return h, payload, fmt.Errorf("%w (%w): volume %d frame payload checksum %08x, want %08x",
+			ErrVolumeChecksum, ErrDecode, h.ID, got, h.CRC)
+	}
+	return h, payload, nil
 }
 
 // DecodeVolumeContext reassembles and error-corrects one volume from
@@ -189,6 +280,13 @@ func (c *Codec) DecodeVolumeContext(ctx context.Context, id uint32, volumeBytes 
 	}
 	h, err := c.parseVolumeHeader(raw, id)
 	if err != nil {
+		if opts.BestEffort && errors.Is(err, ErrVolumeTruncated) {
+			// The frame is sound but the decoded payload came up short (a
+			// torn tail). Salvage what is present; the volume counts as
+			// damaged, never as a clean decode.
+			rep.Partial = true
+			return h, raw[VolumeHeaderBytes:], rep, nil
+		}
 		return h, nil, rep, err
 	}
 	data := raw[VolumeHeaderBytes : VolumeHeaderBytes+h.PayloadLen]

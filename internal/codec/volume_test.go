@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"testing"
 
 	"dnastore/internal/dna"
@@ -180,6 +181,108 @@ func TestDecodeVolumeChecksum(t *testing.T) {
 	}
 	if rep.Partial {
 		t.Fatal("clean decode reported Partial")
+	}
+}
+
+func TestVolumeFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		[]byte("shard zero"),
+		{},
+		bytes.Repeat([]byte{0x5A}, 300),
+	}
+	for id, p := range payloads {
+		h := VolumeHeader{ID: uint32(id), N: 12, K: 8, PayloadBytes: 10}
+		if err := WriteVolumeFrame(&buf, h, p); err != nil {
+			t.Fatalf("write frame %d: %v", id, err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for id, p := range payloads {
+		h, got, err := ReadVolumeFrame(r, 1<<20)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", id, err)
+		}
+		if h.ID != uint32(id) || h.N != 12 || h.K != 8 || h.PayloadBytes != 10 {
+			t.Fatalf("frame %d header = %+v", id, h)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d payload mismatch", id)
+		}
+	}
+	// The stream must end with a clean io.EOF, not a truncation error.
+	if _, _, err := ReadVolumeFrame(r, 1<<20); !errors.Is(err, io.EOF) || errors.Is(err, ErrVolumeTruncated) {
+		t.Fatalf("end of stream: got %v, want clean io.EOF", err)
+	}
+}
+
+func TestVolumeFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte{0xC3}, 100)
+	if err := WriteVolumeFrame(&buf, VolumeHeader{ID: 7}, payload); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Any torn tail — mid-header or mid-payload — must surface as a typed
+	// ErrVolumeTruncated, never a silent EOF or a panic.
+	for _, cut := range []int{1, VolumeHeaderBytes - 1, VolumeHeaderBytes, VolumeHeaderBytes + 50, len(whole) - 1} {
+		_, _, err := ReadVolumeFrame(bytes.NewReader(whole[:cut]), 1<<20)
+		if !errors.Is(err, ErrVolumeTruncated) {
+			t.Fatalf("cut at %d: got %v, want ErrVolumeTruncated", cut, err)
+		}
+		if !errors.Is(err, ErrDecode) {
+			t.Fatalf("cut at %d: %v does not wrap ErrDecode", cut, err)
+		}
+	}
+	// A header length beyond maxPayload is truncation, not an allocation.
+	if _, _, err := ReadVolumeFrame(bytes.NewReader(whole), 10); !errors.Is(err, ErrVolumeTruncated) {
+		t.Fatalf("oversized claim: got %v, want ErrVolumeTruncated", err)
+	}
+	// A flipped payload bit is a checksum error carrying the bytes read.
+	flipped := append([]byte(nil), whole...)
+	flipped[VolumeHeaderBytes+3] ^= 0x01
+	h, got, err := ReadVolumeFrame(bytes.NewReader(flipped), 1<<20)
+	if !errors.Is(err, ErrVolumeChecksum) {
+		t.Fatalf("bit flip: got %v, want ErrVolumeChecksum", err)
+	}
+	if h.ID != 7 || len(got) != len(payload) {
+		t.Fatalf("checksum failure dropped the frame: h=%+v len=%d", h, len(got))
+	}
+}
+
+func TestDecodeVolumeTruncatedTail(t *testing.T) {
+	// A frame whose header claims more payload than was decoded (torn tail)
+	// must fail typed in strict mode and salvage the available bytes as a
+	// damaged volume in best-effort mode.
+	c := testVolumeCodec(t)
+	const volumeBytes = 200
+	vc, err := c.VolumeCodec(0, volumeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xEE}, 60)
+	header := EncodeVolumeHeader(VolumeHeader{
+		ID: 0, N: c.Params().N, K: c.Params().K, PayloadBytes: c.Params().PayloadBytes,
+		PayloadLen: uint64(len(payload) + 40), // lies: 40 bytes lost to the tear
+	})
+	framed := append(header[:], payload...)
+	strands, err := vc.EncodeFile(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = c.DecodeVolumeContext(context.Background(), 0, volumeBytes, strands, DecodeOptions{})
+	if !errors.Is(err, ErrVolumeTruncated) || !errors.Is(err, ErrDecode) {
+		t.Fatalf("strict decode of a torn volume: got %v, want ErrVolumeTruncated wrapping ErrDecode", err)
+	}
+	_, data, rep, err := c.DecodeVolumeContext(context.Background(), 0, volumeBytes, strands, DecodeOptions{BestEffort: true})
+	if err != nil {
+		t.Fatalf("best-effort decode of a torn volume errored: %v", err)
+	}
+	if !rep.Partial {
+		t.Fatal("best-effort salvage of a torn volume must report Partial, not a clean decode")
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatalf("salvaged %d bytes, want the %d available payload bytes", len(data), len(payload))
 	}
 }
 

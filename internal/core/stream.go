@@ -102,6 +102,13 @@ type VolumeResult struct {
 	// Times holds the volume's per-stage busy times. Simulate is this
 	// volume's even share of its pooling group's simulation time.
 	Times StageTimes
+	// Outcome classifies the decode: decoded (clean), salvaged (best-effort
+	// bytes with DamageBytes unverified), or failed (region zero-filled).
+	Outcome VolumeOutcome
+	// DamageBytes estimates how many of the volume's bytes are unverified or
+	// wrong: 0 for a clean decode, Bytes for a failed volume, and the damaged
+	// units' span for a localized salvage.
+	DamageBytes int
 	// Err is non-nil when the volume could not be recovered; its region of
 	// the output is zero-filled and the run continues (see ErrVolumeDamaged).
 	Err error
@@ -118,8 +125,10 @@ type StreamResult struct {
 	// BytesIn and BytesOut count archive bytes consumed and emitted. They
 	// match even for damaged volumes (zero-fill keeps offsets aligned).
 	BytesIn, BytesOut int64
-	// FailedVolumes counts volumes with a non-nil Err.
-	FailedVolumes int
+	// FailedVolumes counts volumes with a non-nil Err; SalvagedVolumes
+	// counts volumes that returned best-effort bytes (OutcomeSalvaged).
+	FailedVolumes   int
+	SalvagedVolumes int
 	// Strands, Reads, Clusters, Attempts sum the per-volume counters.
 	Strands, Reads, Clusters, Attempts int
 	// ClusterStats sums the per-volume clustering work; Spilled is the total
@@ -128,6 +137,19 @@ type StreamResult struct {
 	// Times sums per-stage busy time across volumes; Wall is the end-to-end
 	// elapsed time. Total()/Wall > 1 means stages overlapped.
 	Times StageTimes
+}
+
+// Degraded returns the volumes that did not decode cleanly (salvaged or
+// failed), in id order — the per-volume records a coordinator audit or a
+// user triaging a damaged archive needs.
+func (r *StreamResult) Degraded() []VolumeResult {
+	var out []VolumeResult
+	for _, v := range r.Volumes {
+		if v.Outcome != OutcomeDecoded {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // volumeChunk is a volume's raw payload on its way to the encoder.
@@ -346,6 +368,8 @@ func (p *Pipeline) RunStream(ctx context.Context, r io.Reader, w io.Writer, opts
 			res.ClusterStats.Add(cur.ClusterStats)
 			if cur.Err != nil {
 				res.FailedVolumes++
+			} else if cur.Outcome == OutcomeSalvaged {
+				res.SalvagedVolumes++
 			}
 			select {
 			case tickets <- struct{}{}:
@@ -454,7 +478,10 @@ func (p *Pipeline) processGroup(ctx context.Context, group []volumeChunk, opts S
 // reusing the batch pipeline's attempt loop (escalation, retries,
 // best-effort salvage) with the volume decoder. All failures are contained
 // in the VolumeResult.
-func (p *Pipeline) processVolume(ctx context.Context, wk volumeWork, opts StreamOptions) VolumeResult {
+func (p *Pipeline) processVolume(ctx context.Context, wk volumeWork, opts StreamOptions) (out VolumeResult) {
+	// Every return path carries an outcome record: the deferred finalize
+	// classifies the result after Err/Report settle.
+	defer func() { out.finalizeOutcome(p.Codec.UnitDataBytes()) }()
 	vr := VolumeResult{
 		ID:      wk.id,
 		Bytes:   wk.bytes,

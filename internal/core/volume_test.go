@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func TestEncodeDecodeVolumesMatchesRunStream(t *testing.T) {
+	// The archive layer's foundation: a shard set produced by EncodeVolumes
+	// and decoded volume-by-volume through DecodeVolume must reproduce the
+	// exact bytes and telemetry of a single-process RunStream.
+	data := streamTestData(2750) // 5 volumes, last one short
+	opts := StreamOptions{VolumeBytes: 600, PoolGroup: 2}
+
+	var streamOut bytes.Buffer
+	streamRes, err := streamPipeline(t).RunStream(context.Background(), bytes.NewReader(data), &streamOut, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := streamPipeline(t)
+	var works []VolumeWork
+	err = p.EncodeVolumes(context.Background(), bytes.NewReader(data), opts, func(wk VolumeWork) error {
+		works = append(works, wk)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(works) != len(streamRes.Volumes) {
+		t.Fatalf("EncodeVolumes emitted %d volumes, RunStream processed %d", len(works), len(streamRes.Volumes))
+	}
+
+	var assembled []byte
+	for i, wk := range works {
+		if wk.ID != uint32(i) {
+			t.Fatalf("volume %d emitted out of order as id %d", i, wk.ID)
+		}
+		sv := streamRes.Volumes[i]
+		if wk.Strands != sv.Strands || len(wk.Reads) != sv.Reads {
+			t.Fatalf("volume %d shard: %d strands/%d reads, stream saw %d/%d",
+				i, wk.Strands, len(wk.Reads), sv.Strands, sv.Reads)
+		}
+		vr := p.DecodeVolume(context.Background(), wk, opts)
+		if vr.Err != nil {
+			t.Fatalf("volume %d: %v", i, vr.Err)
+		}
+		if vr.Outcome != OutcomeDecoded || vr.DamageBytes != 0 {
+			t.Fatalf("volume %d outcome %v damage %d, want clean decode", i, vr.Outcome, vr.DamageBytes)
+		}
+		if vr.Attempts != sv.Attempts || vr.Clusters != sv.Clusters {
+			t.Fatalf("volume %d telemetry differs from stream: attempts %d/%d clusters %d/%d",
+				i, vr.Attempts, sv.Attempts, vr.Clusters, sv.Clusters)
+		}
+		buf := vr.Data
+		if len(buf) != vr.Bytes {
+			padded := make([]byte, vr.Bytes)
+			copy(padded, buf)
+			buf = padded
+		}
+		assembled = append(assembled, buf...)
+	}
+	if !bytes.Equal(assembled, streamOut.Bytes()) {
+		t.Fatal("per-volume decode output differs from RunStream output")
+	}
+	if !bytes.Equal(assembled, data) {
+		t.Fatal("per-volume decode output differs from input")
+	}
+}
+
+func TestStreamOutcomeRecords(t *testing.T) {
+	// Per-volume outcome records: a dropped volume is OutcomeFailed with its
+	// whole span as damage, the rest are OutcomeDecoded, and Degraded()
+	// surfaces exactly the degraded ones.
+	p := streamPipeline(t)
+	p.Simulator = dropVolumeSim{inner: p.Simulator.(PoolSimulator), drop: 1}
+	data := streamTestData(1800) // 3 volumes
+	var out bytes.Buffer
+	res, err := p.RunStream(context.Background(), bytes.NewReader(data), &out, StreamOptions{
+		RunOptions:  RunOptions{BestEffort: true},
+		VolumeBytes: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Volumes {
+		want := OutcomeDecoded
+		if i == 1 {
+			want = OutcomeFailed
+		}
+		if v.Outcome != want {
+			t.Fatalf("volume %d outcome = %v, want %v", i, v.Outcome, want)
+		}
+	}
+	if res.Volumes[1].DamageBytes != res.Volumes[1].Bytes {
+		t.Fatalf("failed volume damage = %d, want full span %d", res.Volumes[1].DamageBytes, res.Volumes[1].Bytes)
+	}
+	if res.Volumes[0].DamageBytes != 0 {
+		t.Fatalf("clean volume reports %d damage bytes", res.Volumes[0].DamageBytes)
+	}
+	deg := res.Degraded()
+	if len(deg) != 1 || deg[0].ID != 1 {
+		t.Fatalf("Degraded() = %+v, want exactly volume 1", deg)
+	}
+	if res.SalvagedVolumes != 0 || res.FailedVolumes != 1 {
+		t.Fatalf("salvaged=%d failed=%d, want 0/1", res.SalvagedVolumes, res.FailedVolumes)
+	}
+}
+
+func TestVolumeOutcomeStrings(t *testing.T) {
+	for _, o := range []VolumeOutcome{OutcomeDecoded, OutcomeSalvaged, OutcomeFailed} {
+		got, err := ParseOutcome(o.String())
+		if err != nil || got != o {
+			t.Fatalf("ParseOutcome(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseOutcome("exploded"); err == nil {
+		t.Fatal("ParseOutcome accepted an unknown outcome")
+	}
+}
