@@ -22,24 +22,30 @@ test-short:
 	$(GO) test -short ./...
 
 # The race detector pass CI runs: the fault-tolerant runtime's worker pools,
-# cancellation flags and chaos injection are all concurrency-heavy.
+# cancellation flags and chaos injection are all concurrency-heavy. The
+# streaming pipeline (internal/core) and archive lease/checkpoint runtime
+# (internal/archive) drop -short so their pump and lease paths run fully
+# under the detector; everything else keeps the fast -short pass.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short $$($(GO) list ./... | grep -v -e '/internal/archive$$' -e '/internal/core$$')
+	$(GO) test -race ./internal/archive ./internal/core
 
 # The repository's own invariant analyzer (cmd/dnalint): determinism,
-# context flow, panic boundaries, error flow and seed flow. Exits non-zero
-# on findings; suppress intentional sites with
-# //dnalint:allow <analyzer> -- <reason>.
+# context flow, panic boundaries, error flow, seed flow, goroutine
+# lifecycle, durable writes, scratch ownership and hot-path allocations.
+# Exits non-zero on findings (stale allow directives included); suppress
+# intentional sites with //dnalint:allow <analyzer> -- <reason>.
 lint:
 	$(GO) run ./cmd/dnalint ./...
 
-# Short native-fuzzing pass over the codec pipeline's four fuzz targets
+# Short native-fuzzing pass over the codec pipeline's fuzz targets
 # (30 s each); CI runs this as a smoke test, local fuzzing can go longer
 # with e.g. `go test ./internal/rs -fuzz FuzzRSDecode -fuzztime 10m`.
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test ./internal/rs -run '^$$' -fuzz '^FuzzRSDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeFile$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzManifestDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fastq -run '^$$' -fuzz '^FuzzFastqParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/edit -run '^$$' -fuzz '^FuzzLevenshtein$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/edit -run '^$$' -fuzz '^FuzzMyersVsDP$$' -fuzztime $(FUZZTIME)

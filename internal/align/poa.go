@@ -40,6 +40,8 @@ type node struct {
 // construct with NewGraph. Graph is not safe for concurrent mutation;
 // reconstruction parallelizes across clusters, one Graph per worker, reused
 // across that worker's clusters via Reset.
+//
+//dnalint:scratch
 type Graph struct {
 	nodes   []node
 	paths   [][]int // node path of each added sequence, in insertion order
@@ -51,6 +53,8 @@ type Graph struct {
 // row, Kahn's-algorithm working sets and the traceback pair list. Buffers
 // grow on demand and are never shrunk, so after the first few reads the
 // alignment of an additional read performs no table allocations at all.
+//
+//dnalint:scratch
 type poaScratch struct {
 	score []int
 	move  []uint8

@@ -88,6 +88,10 @@ func All() []*Analyzer {
 		PanicBoundary,
 		ErrFlow,
 		SeedFlow,
+		GoroutineFlow,
+		DurableWrite,
+		ScratchOwn,
+		HotPathAlloc,
 	}
 }
 
@@ -101,10 +105,24 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// Options configures a RunAnalyzers/RunModule invocation.
+type Options struct {
+	// PruneDirectives reports allow directives that suppressed zero findings
+	// as diagnostics themselves. Only directives naming an analyzer that ran
+	// over the package are considered, so analyzer subsets (-only) never
+	// produce false staleness.
+	PruneDirectives bool
+}
+
 // RunAnalyzers applies the given analyzers to one loaded package and returns
 // the surviving diagnostics: findings covered by a well-formed allow
 // directive are dropped, and malformed directives are themselves reported.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAnalyzersOptions(pkg, analyzers, Options{})
+}
+
+// RunAnalyzersOptions is RunAnalyzers with explicit Options.
+func RunAnalyzersOptions(pkg *Package, analyzers []*Analyzer, opts Options) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(pkg.Path) {
@@ -124,6 +142,9 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	allow, dirDiags := collectDirectives(pkg.Fset, pkg.Files)
 	diags = allow.filter(diags)
 	diags = append(diags, dirDiags...)
+	if opts.PruneDirectives {
+		diags = append(diags, allow.stale(pkg.Fset, analyzers, pkg.Path)...)
+	}
 	sortDiagnostics(diags)
 	return diags
 }
@@ -132,6 +153,12 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // analyzers to each. Load or type-check failures abort with an error; clean
 // analysis returns an empty slice.
 func RunModule(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunModuleOptions(root, analyzers, Options{})
+}
+
+// RunModuleOptions is RunModule with explicit Options. Load and type-check
+// failures are returned as a *LoadError naming the failing package.
+func RunModuleOptions(root string, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	loader, err := NewLoader(root)
 	if err != nil {
 		return nil, err
@@ -144,9 +171,9 @@ func RunModule(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", path, err)
+			return nil, &LoadError{Pkg: path, Err: err}
 		}
-		diags = append(diags, RunAnalyzers(pkg, analyzers)...)
+		diags = append(diags, RunAnalyzersOptions(pkg, analyzers, opts)...)
 	}
 	sortDiagnostics(diags)
 	return diags, nil

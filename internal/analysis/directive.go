@@ -7,13 +7,20 @@ import (
 	"strings"
 )
 
-// directivePrefix introduces an allow directive. The full syntax is
+// directivePrefix introduces a dnalint directive. Three verbs exist:
 //
 //	//dnalint:allow <analyzer>[,<analyzer>...] -- <reason>
+//	//dnalint:scratch [-- <note>]
+//	//dnalint:hotpath [-- <note>]
 //
-// and the directive suppresses matching findings on its own line and on the
+// An allow directive suppresses matching findings on its own line and on the
 // line directly below (so it can trail the offending statement or sit on the
-// line above it). The reason after " -- " is mandatory.
+// line above it); the reason after " -- " is mandatory. A scratch directive
+// marks the type declaration it is attached to as per-worker scratch (the
+// scratchown analyzer forbids such values from escaping their owning
+// goroutine). A hotpath directive marks the function declaration it is
+// attached to as allocation-free territory (the hotpathalloc analyzer flags
+// allocating constructs inside it).
 const directivePrefix = "//dnalint:"
 
 // allowKey identifies one suppressed (file, line, analyzer) cell.
@@ -23,16 +30,31 @@ type allowKey struct {
 	analyzer string
 }
 
-// allowSet is the suppression table built from a package's directives.
-type allowSet map[allowKey]bool
+// directiveRec is one parsed allow directive, kept so the stale-directive
+// check can tell which directives suppressed nothing.
+type directiveRec struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowSet is the suppression table built from a package's directives, plus
+// the bookkeeping the stale-directive check needs: which (file, line,
+// analyzer) cells actually absorbed a finding.
+type allowSet struct {
+	keys map[allowKey]bool
+	used map[allowKey]bool
+	recs []directiveRec
+}
 
 // collectDirectives scans the package's comments for dnalint directives and
 // returns the suppression table plus diagnostics for malformed directives
 // (unknown verb, unknown analyzer name, or a missing reason). Directive
 // diagnostics are attributed to the pseudo-analyzer "directive" and cannot
 // themselves be suppressed.
-func collectDirectives(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
-	allow := allowSet{}
+func collectDirectives(fset *token.FileSet, files []*ast.File) (*allowSet, []Diagnostic) {
+	allow := &allowSet{keys: map[allowKey]bool{}, used: map[allowKey]bool{}}
 	var diags []Diagnostic
 	bad := func(pos token.Pos, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -48,25 +70,32 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (allowSet, []Diag
 				if !ok {
 					continue
 				}
-				body, ok := strings.CutPrefix(rest, "allow ")
-				if !ok {
-					bad(c.Pos(), "malformed directive %q: want //dnalint:allow <analyzers> -- <reason>", c.Text)
-					continue
-				}
-				names, reason, ok := strings.Cut(body, " -- ")
-				if !ok || strings.TrimSpace(reason) == "" {
-					bad(c.Pos(), "directive is missing its reason: every suppression must say why (\"... -- <reason>\")")
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				for _, name := range strings.Split(names, ",") {
-					name = strings.TrimSpace(name)
-					if ByName(name) == nil {
-						bad(c.Pos(), "directive names unknown analyzer %q", name)
+				switch {
+				case strings.HasPrefix(rest, "allow "):
+					body := strings.TrimPrefix(rest, "allow ")
+					names, reason, ok := strings.Cut(body, " -- ")
+					if !ok || strings.TrimSpace(reason) == "" {
+						bad(c.Pos(), "directive is missing its reason: every suppression must say why (\"... -- <reason>\")")
 						continue
 					}
-					allow[allowKey{pos.Filename, pos.Line, name}] = true
-					allow[allowKey{pos.Filename, pos.Line + 1, name}] = true
+					pos := fset.Position(c.Pos())
+					for _, name := range strings.Split(names, ",") {
+						name = strings.TrimSpace(name)
+						if ByName(name) == nil {
+							bad(c.Pos(), "directive names unknown analyzer %q", name)
+							continue
+						}
+						allow.keys[allowKey{pos.Filename, pos.Line, name}] = true
+						allow.keys[allowKey{pos.Filename, pos.Line + 1, name}] = true
+						allow.recs = append(allow.recs, directiveRec{
+							pos: c.Pos(), file: pos.Filename, line: pos.Line, analyzer: name,
+						})
+					}
+				case markerBody(rest, "scratch"), markerBody(rest, "hotpath"):
+					// Marker directives; consumed by scratchown/hotpathalloc
+					// via scratchMarkedTypes/hotpathMarkedFuncs.
+				default:
+					bad(c.Pos(), "malformed directive %q: want //dnalint:allow <analyzers> -- <reason>, //dnalint:scratch or //dnalint:hotpath", c.Text)
 				}
 			}
 		}
@@ -74,16 +103,100 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (allowSet, []Diag
 	return allow, diags
 }
 
-// filter drops diagnostics covered by the suppression table.
-func (a allowSet) filter(diags []Diagnostic) []Diagnostic {
-	if len(a) == 0 {
+// markerBody reports whether rest is a well-formed marker directive body for
+// verb: the bare verb, optionally followed by " -- <note>".
+func markerBody(rest, verb string) bool {
+	if rest == verb {
+		return true
+	}
+	after, ok := strings.CutPrefix(rest, verb+" ")
+	return ok && strings.HasPrefix(after, "-- ") && strings.TrimSpace(strings.TrimPrefix(after, "-- ")) != ""
+}
+
+// filter drops diagnostics covered by the suppression table, marking the
+// covering cells as used so the stale-directive check can spot directives
+// that suppress nothing.
+func (a *allowSet) filter(diags []Diagnostic) []Diagnostic {
+	if len(a.keys) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !a[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-			kept = append(kept, d)
+		key := allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}
+		if a.keys[key] {
+			a.used[key] = true
+			continue
 		}
+		kept = append(kept, d)
 	}
 	return kept
+}
+
+// stale reports allow directives that suppressed zero findings in this run.
+// Only directives naming an analyzer that actually ran over this package are
+// considered: running a subset (-only) must not make unrelated directives
+// look dead. A stale directive is itself a diagnostic — an unneeded
+// suppression is a hole through which the next real regression slips.
+func (a *allowSet) stale(fset *token.FileSet, analyzers []*Analyzer, pkgPath string) []Diagnostic {
+	inRun := map[string]bool{}
+	applies := map[string]bool{}
+	for _, an := range analyzers {
+		inRun[an.Name] = true
+		if an.Applies == nil || an.Applies(pkgPath) {
+			applies[an.Name] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, rec := range a.recs {
+		if !inRun[rec.analyzer] {
+			continue
+		}
+		if !applies[rec.analyzer] {
+			// The analyzer is scoped away from this package, so the allow can
+			// never absorb a finding: dead by construction.
+			diags = append(diags, Diagnostic{
+				Pos:      fset.Position(rec.pos),
+				Analyzer: "directive",
+				Message: fmt.Sprintf("stale directive: analyzer %s never inspects this package, so the allow suppresses nothing; remove it",
+					rec.analyzer),
+			})
+			continue
+		}
+		if a.used[allowKey{rec.file, rec.line, rec.analyzer}] ||
+			a.used[allowKey{rec.file, rec.line + 1, rec.analyzer}] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(rec.pos),
+			Analyzer: "directive",
+			Message: fmt.Sprintf("stale directive: the %s allow suppresses no findings; remove it (dead suppressions hide the next real regression)",
+				rec.analyzer),
+		})
+	}
+	return diags
+}
+
+// markerLines collects the line numbers (per file name) carrying a given
+// marker directive verb ("scratch" or "hotpath"). A declaration is marked
+// when a marker sits inside its doc comment, trails its first line, or sits
+// on the line directly above it.
+func markerLines(fset *token.FileSet, f *ast.File, verb string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok || !markerBody(rest, verb) {
+				continue
+			}
+			lines[fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
+}
+
+// declMarked reports whether the declaration starting at pos is covered by a
+// marker on its own line or the line directly above.
+func declMarked(fset *token.FileSet, lines map[int]bool, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	return lines[line] || lines[line-1]
 }

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DurableWrite encodes the archive's crash-consistency argument as a check.
+// The restartable decode (internal/archive) survives kill -9 because every
+// published file follows write → sync → close → rename, and every O_EXCL
+// lease create is paired with a remove/rename that releases or hands off the
+// lease. Two rules, both function-local:
+//
+//  1. An os.Rename whose source is a temp path (identifier named "tmp*" or an
+//     expression built from a ".tmp" literal) must be preceded in the same
+//     function by a (*os.File).Sync call. Renaming an unsynced temp file can
+//     publish an empty or torn file after a crash: rename is atomic on the
+//     directory entry, not on the data blocks behind it.
+//
+//  2. An os.OpenFile carrying os.O_EXCL (the lease-claim idiom) must share
+//     its function with an os.Remove or os.Rename applied to the same path
+//     variable; otherwise an early return leaks the lease file and wedges the
+//     volume until staleness expires.
+var DurableWrite = &Analyzer{
+	Name: "durablewrite",
+	Doc:  "temp-file renames must be dominated by File.Sync; O_EXCL creates need a matching remove/rename",
+	Run:  runDurableWrite,
+}
+
+func runDurableWrite(pass *Pass) {
+	for _, f := range pass.Files {
+		eachFunc(f, func(node ast.Node, ftype *ast.FuncType, body *ast.BlockStmt) {
+			// Literals are revisited by their enclosing declaration's walk;
+			// analyzing them standalone as well would double-report. Only
+			// FuncDecl bodies are walked, and nested literals are treated as
+			// part of the declaration (renames in a defer still belong to the
+			// surrounding write protocol).
+			if _, ok := node.(*ast.FuncDecl); !ok {
+				return
+			}
+			checkDurableFunc(pass, node, body)
+		})
+	}
+}
+
+func checkDurableFunc(pass *Pass, node ast.Node, body *ast.BlockStmt) {
+	type renameSite struct {
+		call *ast.CallExpr
+		src  ast.Expr
+	}
+	type exclSite struct {
+		call *ast.CallExpr
+		path ast.Expr
+	}
+	var (
+		renames  []renameSite // all os.Rename calls, temp or not
+		excls    []exclSite
+		syncPos  []token.Pos
+		tempRens []renameSite
+	)
+	// One-step dataflow: a variable assigned from an expression built around
+	// a ".tmp" literal is a temp path, so `tmp := path + ".tmp"` and
+	// `staging := path + ".tmp-stage"` both mark their variable.
+	tempObjs := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if !exprHasTmpLiteral(as.Rhs[i]) {
+				continue
+			}
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					tempObjs[obj] = true
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					tempObjs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeFullName(pass.Info, call) {
+		case "os.Rename":
+			if len(call.Args) == 2 {
+				renames = append(renames, renameSite{call, call.Args[0]})
+			}
+		case "os.OpenFile":
+			if len(call.Args) == 3 && exprMentionsOEXCL(pass.Info, call.Args[1]) {
+				excls = append(excls, exclSite{call, call.Args[0]})
+			}
+		case "(*os.File).Sync":
+			syncPos = append(syncPos, call.Pos())
+		}
+		return true
+	})
+
+	for _, r := range renames {
+		if isTempPathExpr(pass.Info, r.src, tempObjs) {
+			tempRens = append(tempRens, r)
+		}
+	}
+
+	// Rule 1: every temp-source rename needs an earlier Sync in this function.
+	for _, r := range tempRens {
+		synced := false
+		for _, p := range syncPos {
+			if p < r.call.Pos() {
+				synced = true
+				break
+			}
+		}
+		if !synced {
+			pass.Reportf(r.call.Pos(), "os.Rename of a temp file is not preceded by a File.Sync in %s: a crash can publish an empty or torn file (write, sync, close, then rename)", funcScopeName(node))
+		}
+	}
+
+	// Rule 2: every O_EXCL create needs a remove/rename of the same path
+	// variable somewhere in this function (the release or the takeover).
+	for _, e := range excls {
+		root := rootIdent(e.path)
+		if root == nil {
+			pass.Reportf(e.call.Pos(), "O_EXCL create has no matching os.Remove/os.Rename in %s: an early return leaks the lease file", funcScopeName(node))
+			continue
+		}
+		obj := pass.Info.Uses[root]
+		cleaned := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if cleaned {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeFullName(pass.Info, call)
+			if name != "os.Remove" && name != "os.Rename" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if id := rootIdent(call.Args[0]); id != nil && obj != nil && pass.Info.Uses[id] == obj {
+				cleaned = true
+				return false
+			}
+			return true
+		})
+		if !cleaned {
+			pass.Reportf(e.call.Pos(), "O_EXCL create of %s has no matching os.Remove/os.Rename in %s: an early return leaks the lease file and wedges its volume until staleness", root.Name, funcScopeName(node))
+		}
+	}
+}
+
+// isTempPathExpr reports whether the rename source looks like a temp path:
+// its root identifier is named tmp/temp-something or was assigned from a
+// ".tmp" literal, or the expression itself concatenates one.
+func isTempPathExpr(info *types.Info, expr ast.Expr, tempObjs map[types.Object]bool) bool {
+	if id := rootIdent(expr); id != nil {
+		lower := strings.ToLower(id.Name)
+		if strings.HasPrefix(lower, "tmp") || strings.HasPrefix(lower, "temp") {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && tempObjs[obj] {
+			return true
+		}
+	}
+	return exprHasTmpLiteral(expr)
+}
+
+// exprHasTmpLiteral reports whether the expression contains a string literal
+// mentioning ".tmp".
+func exprHasTmpLiteral(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && strings.Contains(lit.Value, ".tmp") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// exprMentionsOEXCL reports whether the flags expression references os.O_EXCL.
+func exprMentionsOEXCL(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != "O_EXCL" {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -61,15 +61,21 @@ func TestGolden(t *testing.T) {
 		dir      string
 		asPath   string
 		analyzer string
+		prune    bool
 	}{
-		{"determinism", "dnastore/internal/sim", "determinism"},
-		{"ctxflow", "dnastore/lint/ctxflow", "ctxflow"},
-		{"panicboundary", "dnastore/internal/recon", "panicboundary"},
-		{"errflow", "dnastore/lint/errflow", "errflow"},
-		{"seedflow", "dnastore/internal/seedflow", "seedflow"},
-		// The directive package tests the suppression machinery itself;
+		{"determinism", "dnastore/internal/sim", "determinism", false},
+		{"ctxflow", "dnastore/lint/ctxflow", "ctxflow", false},
+		{"panicboundary", "dnastore/internal/recon", "panicboundary", false},
+		{"errflow", "dnastore/lint/errflow", "errflow", false},
+		{"seedflow", "dnastore/internal/seedflow", "seedflow", false},
+		{"goroutineflow", "dnastore/lint/goroutineflow", "goroutineflow", false},
+		{"durablewrite", "dnastore/lint/durablewrite", "durablewrite", false},
+		{"scratchown", "dnastore/lint/scratchown", "scratchown", false},
+		{"hotpathalloc", "dnastore/lint/hotpathalloc", "hotpathalloc", false},
+		// The directive packages test the suppression machinery itself;
 		// errflow provides the findings the directives act on.
-		{"directive", "dnastore/lint/directive", "errflow"},
+		{"directive", "dnastore/lint/directive", "errflow", false},
+		{"staledirective", "dnastore/lint/staledirective", "errflow", true},
 	}
 	root, err := FindModuleRoot(".")
 	if err != nil {
@@ -90,7 +96,7 @@ func TestGolden(t *testing.T) {
 			if a == nil {
 				t.Fatalf("unknown analyzer %q", tc.analyzer)
 			}
-			diags := RunAnalyzers(pkg, []*Analyzer{a})
+			diags := RunAnalyzersOptions(pkg, []*Analyzer{a}, Options{PruneDirectives: tc.prune})
 			if len(diags) == 0 {
 				t.Fatalf("golden package %s produced no findings; the analyzer must report and exit non-zero on it", tc.dir)
 			}

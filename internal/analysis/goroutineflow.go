@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineFlow guards the streaming/archive runtime's goroutine lifecycle:
+// a spawned goroutine that nobody joins and nothing can cancel is a leak the
+// race detector cannot see — the pump refactors the streaming pipeline and
+// object-store daemon keep making are exactly where such leaks appear. Every
+// `go` statement in the module must therefore make its termination
+// observable or controllable:
+//
+//   - join via sync.WaitGroup: the body calls a WaitGroup method (the
+//     Add/Done/Wait protocol), or
+//   - join via done-channel: the body closes or sends on a channel declared
+//     outside the goroutine (the spawn site can receive the completion), or
+//   - cancellation: the body references a context.Context value (polls
+//     ctx.Err()/ctx.Done() or passes ctx into the calls that do).
+//
+// A goroutine spawned as `go f(args)` with a named function must carry the
+// signal through its arguments: a context, a channel, or a *sync.WaitGroup.
+var GoroutineFlow = &Analyzer{
+	Name: "goroutineflow",
+	Doc:  "every go statement must be joined (WaitGroup/done-channel) or carry a pollable context",
+	Run:  runGoroutineFlow,
+}
+
+func runGoroutineFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				if !goroutineJoined(pass, lit) {
+					pass.Reportf(g.Pos(), "goroutine is neither joined nor cancellable: give it a WaitGroup/done-channel reachable from the spawn site, or a context its body polls")
+				}
+				return true
+			}
+			if !spawnArgsCarrySignal(pass, g.Call) {
+				pass.Reportf(g.Pos(), "goroutine calls a named function with no join or cancellation signal in its arguments (context, channel, or *sync.WaitGroup)")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineJoined reports whether the goroutine literal's body contains a
+// join or cancellation signal: a sync.WaitGroup method call, a close/send on
+// a channel captured from outside the literal, or a reference to a context
+// value. Nested closures count — `defer func() { close(done) }()` is how
+// bodies usually signal completion.
+func goroutineJoined(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupCall(pass.Info, x) {
+				found = true
+				return false
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if tv, ok := pass.Info.Types[ast.Unparen(x.Fun)]; ok && tv.IsBuiltin() && rootsOutside(pass.Info, x.Args[0], lit) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if rootsOutside(pass.Info, x.Chan, lit) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil && isContextType(obj.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupCall reports whether call invokes a method of sync.WaitGroup.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// rootsOutside reports whether expr's leftmost identifier resolves to an
+// object declared outside the literal — i.e. captured state the spawn site
+// shares, not a value private to the goroutine.
+func rootsOutside(info *types.Info, expr ast.Expr, lit *ast.FuncLit) bool {
+	id := rootIdent(expr)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// spawnArgsCarrySignal reports whether a named-function goroutine's
+// arguments (or method receiver) include a context, a channel, or a
+// *sync.WaitGroup — the ways a named body can be joined or cancelled.
+func spawnArgsCarrySignal(pass *Pass, call *ast.CallExpr) bool {
+	exprs := append([]ast.Expr{}, call.Args...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, arg := range exprs {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if typeCarriesSignal(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeCarriesSignal reports whether t is a context, channel, or WaitGroup
+// (possibly behind a pointer).
+func typeCarriesSignal(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc locks in the zero-allocation wins of the edit/align kernels
+// and cluster inner loops: a function whose declaration carries a
+// `//dnalint:hotpath` marker is asserted allocation-free, and the analyzer
+// flags the constructs that allocate on every call:
+//
+//   - append and make calls (grow into preallocated Scratch instead);
+//   - new calls and slice/map composite literals;
+//   - string <-> byte/rune-slice conversions, which copy.
+//
+// Allocation belongs in the untagged setup helpers (Scratch.rows,
+// peqBlocks, ...) that amortize it across calls. Function literals nested
+// inside a hot function run on the hot path too and are checked with it. A
+// deliberate allocation inside a hot function takes a reasoned
+// `//dnalint:allow hotpathalloc -- <reason>`.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions tagged //dnalint:hotpath must not allocate (append/make/new/literals/string conversions)",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		lines := markerLines(pass.Fset, f, "hotpath")
+		if len(lines) == 0 {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !declMarked(pass.Fset, lines, fd.Pos()) {
+				continue
+			}
+			checkHotBody(pass, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+func checkHotBody(pass *Pass, name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			if tv, ok := pass.Info.Types[fun]; ok {
+				if tv.IsBuiltin() {
+					if id, ok := fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "append", "make", "new":
+							pass.Reportf(x.Pos(), "hot-path function %s allocates via %s: hoist the buffer into Scratch or the caller, or add a reasoned //dnalint:allow hotpathalloc", name, id.Name)
+						}
+					}
+					return true
+				}
+				if tv.IsType() && allocatingConversion(pass.Info, x) {
+					pass.Reportf(x.Pos(), "hot-path function %s converts between string and byte/rune slice, which copies: operate on the slice directly or add a reasoned //dnalint:allow hotpathalloc", name)
+					return true
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(x.Pos(), "hot-path function %s builds a slice literal, which allocates: reuse a Scratch-owned buffer or add a reasoned //dnalint:allow hotpathalloc", name)
+				case *types.Map:
+					pass.Reportf(x.Pos(), "hot-path function %s builds a map literal, which allocates: reuse a Scratch-owned table or add a reasoned //dnalint:allow hotpathalloc", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// allocatingConversion reports whether the type conversion copies memory:
+// string(byteOrRuneSlice) or []byte/[]rune(string).
+func allocatingConversion(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	dstTV, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || dstTV.Type == nil {
+		return false
+	}
+	srcTV, ok := info.Types[call.Args[0]]
+	if !ok || srcTV.Type == nil {
+		return false
+	}
+	return (isStringType(dstTV.Type) && isByteOrRuneSlice(srcTV.Type)) ||
+		(isByteOrRuneSlice(dstTV.Type) && isStringType(srcTV.Type))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32
+}

@@ -16,6 +16,22 @@ import (
 	"strings"
 )
 
+// LoadError wraps a parse or type-check failure with the import path of the
+// package that failed, so tooling (cmd/dnalint exit code 2) can name the
+// failing package before the compiler-style error text.
+type LoadError struct {
+	// Pkg is the import path of the package that failed to load.
+	Pkg string
+	// Err is the underlying parse/type-check error.
+	Err error
+}
+
+// Error formats the failure as "loading <pkg>: <err>".
+func (e *LoadError) Error() string { return fmt.Sprintf("loading %s: %v", e.Pkg, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *LoadError) Unwrap() error { return e.Err }
+
 // Package is one parsed and type-checked module package.
 type Package struct {
 	// Path is the import path (synthetic for golden-test packages).

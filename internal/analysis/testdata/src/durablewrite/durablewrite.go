@@ -1,0 +1,90 @@
+// Package durablewrite exercises the durablewrite analyzer: renaming a
+// temp file without an earlier File.Sync in the same function is flagged
+// (the crash-consistency protocol is write, sync, close, rename), and an
+// O_EXCL lease create must share its function with a remove/rename of the
+// same path.
+package durablewrite
+
+import "os"
+
+func unsyncedPublish(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want "not preceded by a File.Sync"
+}
+
+func unsyncedLiteralSuffix(path string, data []byte) error {
+	staging := path + ".tmp-stage"
+	if err := os.WriteFile(staging, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(staging, path) // want "not preceded by a File.Sync"
+}
+
+func syncedPublish(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func leakyLease(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644) // want "O_EXCL create of path has no matching"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func removedLease(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return os.Remove(path)
+}
+
+func handedOffLease(path, next string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path, next)
+}
+
+func plainRenameIsFine(from, to string) error {
+	return os.Rename(from, to)
+}
+
+func plainOpenIsFine(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

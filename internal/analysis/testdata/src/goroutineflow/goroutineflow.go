@@ -1,0 +1,92 @@
+// Package goroutineflow exercises the goroutineflow analyzer: a spawned
+// goroutine must be joined (WaitGroup or done-channel reachable from the
+// spawn site) or reference a context its body can poll; named-function
+// spawns must carry the signal through their arguments.
+package goroutineflow
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func leakedLiteral() {
+	go func() { // want "neither joined nor cancellable"
+		work()
+	}()
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedByDoneChannel() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func joinedByResultSend() {
+	res := make(chan int, 1)
+	go func() {
+		work()
+		res <- 1
+	}()
+	<-res
+}
+
+func cancellableByContext(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+func nestedCompletionSignal() {
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			close(done)
+		}()
+		work()
+	}()
+	<-done
+}
+
+func privateChannelDoesNotCount() {
+	go func() { // want "neither joined nor cancellable"
+		ch := make(chan int, 1)
+		ch <- 1
+	}()
+}
+
+func namedWorker(n int) { _ = n }
+
+func pump(ch chan int) { close(ch) }
+
+func poll(ctx context.Context) { <-ctx.Done() }
+
+func leakedNamed() {
+	go namedWorker(5) // want "named function with no join or cancellation signal"
+}
+
+func namedJoinedByChannel() {
+	ch := make(chan int)
+	go pump(ch)
+	<-ch
+}
+
+func namedCancellable(ctx context.Context) {
+	go poll(ctx)
+}

@@ -1,0 +1,48 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer: a function
+// whose declaration carries //dnalint:hotpath is asserted allocation-free,
+// so append/make/new, slice and map literals, and copying string
+// conversions inside it are flagged. Untagged functions allocate freely.
+package hotpathalloc
+
+// distance piles every forbidden construct into one tagged function.
+//
+//dnalint:hotpath
+func distance(a, b []byte, buf []int) int {
+	extra := make([]int, len(a))  // want "allocates via make"
+	extra = append(extra, 1)      // want "allocates via append"
+	p := new(int)                 // want "allocates via new"
+	weights := []int{1, 2, 3}     // want "slice literal"
+	table := map[byte]int{'A': 1} // want "map literal"
+	key := string(a)              // want "converts between string and byte/rune slice"
+	raw := []byte(key)            // want "converts between string and byte/rune slice"
+	_, _, _, _, _ = extra, p, weights, table, raw
+	return len(b) + len(buf)
+}
+
+//dnalint:hotpath
+func cleanKernel(a, b []byte, buf []int) int {
+	n := 0
+	for i := range a {
+		if i < len(b) && a[i] == b[i] {
+			n++
+		}
+	}
+	if len(buf) > 0 {
+		buf[0] = n
+	}
+	return n
+}
+
+// coldSetup is untagged: allocation is where it belongs.
+func coldSetup(n int) []int {
+	out := make([]int, 0, n)
+	return append(out, 1)
+}
+
+//dnalint:hotpath -- inner loop of the distance kernel
+func nestedLiteral(a []byte) int {
+	grow := func() []byte {
+		return append(a, 0) // want "allocates via append"
+	}
+	return len(grow())
+}

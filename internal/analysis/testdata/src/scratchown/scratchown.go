@@ -1,0 +1,71 @@
+// Package scratchown exercises the scratchown analyzer: a type marked
+// //dnalint:scratch is per-worker scratch and must not escape its owning
+// goroutine — no package-level vars, no channel transfer, no capture by a
+// spawned closure. The per-worker slot pattern (a shared slice indexed by
+// worker id) stays legal.
+package scratchown
+
+import "sync"
+
+// rowScratch is a reusable per-worker buffer.
+//
+//dnalint:scratch
+type rowScratch struct {
+	rows []int
+}
+
+var globalScratch rowScratch // want "package-level var globalScratch holds per-worker scratch type"
+
+var sink any
+
+func escapeToGlobal() {
+	var s rowScratch
+	sink = &s // want "stored in package-level var sink"
+}
+
+func sendOverChannel(ch chan *rowScratch) {
+	var s rowScratch
+	ch <- &s // want "sent over a channel"
+}
+
+func makeScratchChannel() {
+	_ = make(chan rowScratch) // want "channel of per-worker scratch type"
+}
+
+func capturedByGoroutine() {
+	var s rowScratch
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.rows = s.rows[:0] // want "goroutine closure captures per-worker scratch variable s"
+	}()
+	wg.Wait()
+}
+
+func perWorkerSlots(workers int) {
+	slots := make([]rowScratch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slots[w].rows = slots[w].rows[:0]
+		}(w)
+	}
+	wg.Wait()
+}
+
+func declaredInsideGoroutine(done chan struct{}) {
+	go func() {
+		var s rowScratch
+		s.rows = append(s.rows, 1)
+		close(done)
+	}()
+}
+
+func plainLocalUse() int {
+	var s rowScratch
+	s.rows = append(s.rows, 1)
+	return len(s.rows)
+}

@@ -1,0 +1,21 @@
+// Package staledirective exercises stale-directive pruning: with
+// Options.PruneDirectives set, an allow that suppresses zero findings is
+// itself a diagnostic, while an allow that absorbs a real finding is not.
+package staledirective
+
+import "errors"
+
+func mk() error { return errors.New("x") }
+
+func effectiveAllow() {
+	_ = mk() //dnalint:allow errflow -- golden test: this suppression absorbs a real finding
+}
+
+func staleAllow() error {
+	//dnalint:allow errflow -- golden test: nothing here drops an error // want "stale directive"
+	return mk()
+}
+
+func unreportedDrop() {
+	_ = mk() // want "error value is discarded with _"
+}

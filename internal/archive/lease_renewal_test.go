@@ -1,0 +1,114 @@
+package archive
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRenewLeaseDetectsLoss pins the renewal-ownership contract: renewing a
+// lease that vanished or was rewritten by another owner returns ErrLeaseLost
+// instead of fighting the new owner for the file.
+func TestRenewLeaseDetectsLoss(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v0.lease")
+	claimed, takeover, err := ClaimLease(path, "victim", time.Minute)
+	if err != nil || !claimed || takeover {
+		t.Fatalf("ClaimLease = (%v, %v, %v), want clean claim", claimed, takeover, err)
+	}
+	if err := RenewLease(path, "victim"); err != nil {
+		t.Fatalf("renewing an owned lease: %v", err)
+	}
+	if err := VerifyLease(path, "victim"); err != nil {
+		t.Fatalf("verifying an owned lease: %v", err)
+	}
+
+	// A takeover rewrote the lease under a new owner.
+	if err := os.WriteFile(path, marshalLease("thief", time.Now()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenewLease(path, "victim"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renewing a stolen lease: %v, want ErrLeaseLost", err)
+	}
+
+	// The lease file vanished entirely (retired by a contender).
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenewLease(path, "victim"); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("renewing a removed lease: %v, want ErrLeaseLost", err)
+	}
+}
+
+// TestLeaseLostMidDecodeAbandonsWithoutCheckpoint drives the takeover-victim
+// path end to end on a fixed-seed archive: the lease file of one volume
+// vanishes between its output write and its checkpoint (exactly where a
+// takeover lands for a worker presumed dead), and the worker must abandon —
+// no checkpoint for that attempt, no lease release that would steal the new
+// owner's claim — then recover the volume on a later sweep. The archive
+// still converges to the byte-identical reference output.
+func TestLeaseLostMidDecodeAbandonsWithoutCheckpoint(t *testing.T) {
+	dir, _, ref := buildTestArchive(t, 2750, 600) // 5 volumes, last short
+	outPath := filepath.Join(filepath.Dir(dir), "out.bin")
+	p, err := archiveTestPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Dir(dir)
+
+	const victimID = 2
+	var stole atomic.Bool
+	var ckptWrites atomic.Int64
+	o := WorkerOptions{
+		Owner:   "victim",
+		Backoff: 5 * time.Millisecond,
+		Hooks: Hooks{
+			OutputWritten: func(id uint32) {
+				if id == victimID && !stole.Swap(true) {
+					// Simulate the takeover: the claim vanishes mid-decode.
+					if err := os.Remove(d.LeasePath(id)); err != nil {
+						t.Errorf("removing lease: %v", err)
+					}
+				}
+			},
+			WriteCheckpoint: func(path string, data []byte) error {
+				ckptWrites.Add(1)
+				return AtomicWriteFile(path, data, ".test")
+			},
+		},
+	}
+	res, err := RunWorker(context.Background(), p, dir, outPath, o)
+	if err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	if res.Abandoned != 1 {
+		t.Errorf("Abandoned = %d, want 1", res.Abandoned)
+	}
+	// Five volumes committed; the abandoned attempt must not have written a
+	// sixth checkpoint.
+	if got := ckptWrites.Load(); got != 5 {
+		t.Errorf("checkpoint writes = %d, want 5 (abandoned attempt writes none)", got)
+	}
+	if res.Decoded != 5 {
+		t.Errorf("Decoded = %d, want 5", res.Decoded)
+	}
+	if res.RenewalErrors != 0 {
+		t.Errorf("RenewalErrors = %d, want 0 (loss is abandonment, not a renewal failure)", res.RenewalErrors)
+	}
+	if got := readFileT(t, outPath); !bytes.Equal(got, ref) {
+		t.Errorf("output differs from single-process reference (%d vs %d bytes)", len(got), len(ref))
+	}
+	// The victim's checkpoint for the abandoned volume exists only from the
+	// redo and must carry the committing owner.
+	ck, err := ReadCheckpoint(d.CheckpointPath(victimID))
+	if err != nil {
+		t.Fatalf("reading redo checkpoint: %v", err)
+	}
+	if ck.Owner != "victim" || ck.ID != victimID {
+		t.Errorf("redo checkpoint = owner %q id %d, want victim/%d", ck.Owner, ck.ID, victimID)
+	}
+}

@@ -192,11 +192,42 @@ func ClaimLease(path, owner string, staleAfter time.Duration) (claimed, takeover
 	return false, false, nil
 }
 
-// RenewLease refreshes the lease's renewal timestamp. Renewal goes through
-// an atomic replace so a concurrent reader never sees a torn lease body.
-// A renewal error is survivable — the lease may be taken over and the
-// volume decoded twice, which costs time, never bytes.
+// ErrLeaseLost reports that a lease no longer records its claimant: the file
+// is gone or carries another owner. The holder was presumed dead and taken
+// over — it must abandon the volume without committing a checkpoint and let
+// the new owner finish.
+var ErrLeaseLost = errors.New("archive: lease lost")
+
+// VerifyLease checks that path still records owner's claim. A missing file
+// or one naming a different owner returns ErrLeaseLost; a torn body that
+// does not parse is treated as the holder's own torn renewal (renewals are
+// atomic, so a torn body predates this code) and passes.
+func VerifyLease(path, owner string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return ErrLeaseLost
+		}
+		return err
+	}
+	var l lease
+	if jerr := json.Unmarshal(raw, &l); jerr == nil && l.Owner != owner {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// RenewLease refreshes the lease's renewal timestamp, first verifying the
+// lease still records owner: renewing a lease that was taken over would
+// fight the new owner for the file, so loss surfaces as ErrLeaseLost and the
+// caller abandons instead. Renewal goes through an atomic replace so a
+// concurrent reader never sees a torn lease body. Any other renewal error is
+// survivable — the lease may be taken over and the volume decoded twice,
+// which costs time, never bytes.
 func RenewLease(path, owner string) error {
+	if err := VerifyLease(path, owner); err != nil {
+		return err
+	}
 	return AtomicWriteFile(path, marshalLease(owner, time.Now()), "."+fmt.Sprintf("%d", os.Getpid()))
 }
 

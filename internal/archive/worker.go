@@ -87,6 +87,11 @@ type WorkerResult struct {
 	// RenewalErrors counts failed lease renewals (survivable: the lease may
 	// be taken over, costing duplicate work, never bytes).
 	RenewalErrors int
+	// Abandoned counts volumes dropped mid-decode because the lease was lost
+	// (taken over after this worker was presumed dead). An abandoned volume
+	// commits no checkpoint — the new owner's redo is the record of truth —
+	// and is revisited on a later sweep if still uncommitted.
+	Abandoned int
 }
 
 // Committed returns the number of volumes this worker committed itself.
@@ -242,12 +247,21 @@ func (w *worker) sweep(ctx context.Context) (progress bool, remaining int, err e
 }
 
 // decodeVolume decodes one claimed volume end to end: commit sequence is
-// decode → WriteAt(output) → Sync → checkpoint → release lease. The lease is
-// always released, even on error; the checkpoint is only written after the
-// output bytes are durable, which is the whole crash-consistency story.
+// decode → WriteAt(output) → Sync → verify lease → checkpoint → release
+// lease. The lease is released on every path except abandonment (the file
+// then belongs to the new owner); the checkpoint is only written after the
+// output bytes are durable AND the lease still records this worker, which is
+// the whole crash-consistency story: a worker that was presumed dead and
+// taken over must not publish a commit record behind the new owner's back.
 func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corrupt bool) (err error) {
 	leasePath := w.d.LeasePath(mv.ID)
+	abandoned := false
 	defer func() {
+		if abandoned {
+			// The lease file is gone or records the new owner; removing it
+			// here would steal the takeover's claim.
+			return
+		}
 		if rerr := ReleaseLease(leasePath); rerr != nil && err == nil {
 			err = rerr
 		}
@@ -271,7 +285,11 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 	}
 
 	// Renew the lease in the background while the decode runs, so a slow
-	// volume does not go stale under a live worker.
+	// volume does not go stale under a live worker. A renewal that finds the
+	// lease lost (taken over) stops renewing and raises leaseLost; the commit
+	// path re-verifies synchronously before the checkpoint, so the flag is
+	// belt-and-braces for decodes whose loss lands between ticks.
+	var leaseLost atomic.Bool
 	stopRenew := make(chan struct{})
 	renewDone := make(chan struct{})
 	go func() {
@@ -291,6 +309,10 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 				return
 			case <-t.C:
 				if rerr := RenewLease(leasePath, w.o.Owner); rerr != nil {
+					if errors.Is(rerr, ErrLeaseLost) {
+						leaseLost.Store(true)
+						return
+					}
 					w.renewErrs.Add(1)
 				}
 			}
@@ -322,6 +344,19 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 	}
 	if w.o.Hooks.OutputWritten != nil {
 		w.o.Hooks.OutputWritten(mv.ID)
+	}
+
+	// Last gate before publication: the checkpoint may only be written while
+	// the lease still records this worker. The output bytes already written
+	// are byte-identical to the new owner's (idempotent redo), so they stand;
+	// the commit record is the new owner's to write.
+	if verr := VerifyLease(leasePath, w.o.Owner); verr != nil || leaseLost.Load() {
+		if verr != nil && !errors.Is(verr, ErrLeaseLost) {
+			return verr
+		}
+		abandoned = true
+		w.res.Abandoned++
+		return nil
 	}
 
 	cp := &Checkpoint{

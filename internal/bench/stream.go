@@ -191,7 +191,7 @@ func streamBenchOne(p *core.Pipeline, cfg StreamBenchConfig, mib int) StreamStat
 	samp := sampleHeap(5 * time.Millisecond)
 	var got bytes.Buffer
 	got.Grow(n)
-	start := time.Now() //dnalint:allow determinism -- benchmark timing, never feeds a pipeline decision
+	start := time.Now()
 	res, err := p.RunStream(context.Background(), bytes.NewReader(data), &got, opts)
 	sec := time.Since(start).Seconds()
 	peak := samp.stopPeak()
@@ -220,7 +220,7 @@ func streamBenchOne(p *core.Pipeline, cfg StreamBenchConfig, mib int) StreamStat
 	if mib <= cfg.BatchMaxMiB {
 		runtime.GC()
 		bsamp := sampleHeap(5 * time.Millisecond)
-		bstart := time.Now() //dnalint:allow determinism -- benchmark timing, never feeds a pipeline decision
+		bstart := time.Now()
 		bres, berr := p.Run(data, core.RunOptions{})
 		st.BatchSeconds = time.Since(bstart).Seconds()
 		st.BatchPeakHeapBytes = bsamp.stopPeak()

@@ -136,7 +136,7 @@ func allocsPerRun(runs int, f func()) float64 {
 // timeStage runs f once, timing it, and derives rates from the item/byte
 // volumes the stage processed.
 func timeStage(name, unit string, items, strands, bytes int, f func()) StageStat {
-	start := time.Now() //dnalint:allow determinism -- benchmark timing, never feeds a pipeline decision
+	start := time.Now()
 	f()
 	sec := time.Since(start).Seconds()
 	st := StageStat{Stage: name, Items: items, Unit: unit, Seconds: sec}

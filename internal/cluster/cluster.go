@@ -410,6 +410,8 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 // edit-distance DP scratch, the signature first-occurrence table, the
 // averaged-signature accumulators and the candidate-ranking buffer. Slot w
 // is touched only by worker w (parallelForCtxW), never shared.
+//
+//dnalint:scratch
 type sweepScratch struct {
 	edit  edit.Scratch
 	sig   sigScratch

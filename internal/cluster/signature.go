@@ -71,6 +71,8 @@ func packGram(g dna.Seq) uint32 {
 // the signature path — so parallel callers hold one sigScratch per worker
 // and reuse it across every read that worker signs. The zero value is ready
 // to use; a sigScratch must never be shared between goroutines.
+//
+//dnalint:scratch
 type sigScratch struct {
 	table []int32
 }
@@ -86,10 +88,12 @@ func (gs gramSet) firstOccurrences(read dna.Seq) []int32 {
 // firstOccurrencesInto is firstOccurrences backed by reusable scratch: the
 // returned table aliases sc.table and is only valid until the next call on
 // the same scratch.
+//
+//dnalint:hotpath
 func (gs gramSet) firstOccurrencesInto(read dna.Seq, sc *sigScratch) []int32 {
 	size := 1 << (2 * uint(gs.q))
 	if cap(sc.table) < size {
-		sc.table = make([]int32, size)
+		sc.table = make([]int32, size) //dnalint:allow hotpathalloc -- amortized capacity growth, reused across every read this worker signs
 	}
 	table := sc.table[:size]
 	for i := range table {
@@ -193,6 +197,8 @@ func (gs gramSet) signatureScratch(read dna.Seq, sc *sigScratch) []int32 {
 // scaled mean capped position drift over co-present grams (the L1 norm of
 // §VI-C restricted to grams both reads contain, normalized so the threshold
 // band is independent of how many grams happen to be co-present).
+//
+//dnalint:hotpath
 func (gs gramSet) distance(a, b []int32) int {
 	if a == nil || b == nil {
 		// A missing signature (its computation was skipped or salvaged
@@ -233,6 +239,8 @@ func (gs gramSet) distance(a, b []int32) int {
 // averaged signature (see the straggler sweep). QGram: L1 between the bit
 // and the mean presence; WGram: capped position drift against the mean
 // first-occurrence, with one-sided absence penalized.
+//
+//dnalint:hotpath
 func (gs gramSet) meanDistance(sig []int32, mean []float32) float32 {
 	if sig == nil || mean == nil {
 		// Missing evidence: the sentinel must beat every real candidate in

@@ -120,7 +120,6 @@ func AutoThresholdsDefault(reads []dna.Seq, seed uint64) (thetaLow, thetaHigh in
 //
 // The returned histogram (indexed by distance) is what Fig. 5 plots.
 func AutoThresholds(reads []dna.Seq, grams gramSet, rng *xrand.RNG) (thetaLow, thetaHigh int, hist []int) {
-	//dnalint:allow ctxflow -- exported convenience entry point, callers without a context get the uncancellable form
 	return autoThresholds(context.Background(), reads, grams, rng, 1)
 }
 

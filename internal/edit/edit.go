@@ -27,6 +27,8 @@ import "dnastore/internal/dna"
 // zero value is ready to use; buffers grow on demand and are never shrunk.
 // A Scratch must not be shared between goroutines: parallel callers hold one
 // Scratch per worker (see internal/cluster and internal/recon).
+//
+//dnalint:scratch
 type Scratch struct {
 	prev []int // DP row (Levenshtein) / band row (Within)
 	cur  []int
@@ -69,6 +71,8 @@ func Levenshtein(a, b dna.Seq) int {
 // results are bit-identical. It dispatches to the bit-parallel kernel,
 // which beats the row DP at every length (64 cells per word-step); the DP
 // stays reachable as LevenshteinDP.
+//
+//dnalint:hotpath
 func (s *Scratch) Levenshtein(a, b dna.Seq) int {
 	if len(a) < bpMinPattern && len(b) < bpMinPattern {
 		return s.LevenshteinDP(a, b)
@@ -79,6 +83,8 @@ func (s *Scratch) Levenshtein(a, b dna.Seq) int {
 // LevenshteinDP is the reference row-DP edit distance: O(len(a)·len(b))
 // time, O(min) space. The dispatcher uses it for tiny inputs; parity tests
 // and the differential fuzzer hold the bit-parallel kernels to it.
+//
+//dnalint:hotpath
 func (s *Scratch) LevenshteinDP(a, b dna.Seq) int {
 	if len(a) < len(b) {
 		a, b = b, a
@@ -123,6 +129,8 @@ func Within(a, b dna.Seq, k int) (int, bool) {
 // are bit-identical. It dispatches between the banded DP (narrow bands,
 // tiny inputs) and the thresholded bit-parallel kernel (everything else);
 // the two return identical distances and verdicts on every input.
+//
+//dnalint:hotpath
 func (s *Scratch) Within(a, b dna.Seq, k int) (int, bool) {
 	if bpWithinProfitable(len(a), len(b), k) {
 		return s.WithinBP(a, b, k)
@@ -134,6 +142,8 @@ func (s *Scratch) Within(a, b dna.Seq, k int) (int, bool) {
 // time. The dispatcher uses it when the band is only a few cells per
 // bit-parallel word-step; parity tests and the differential fuzzer hold
 // WithinBP to it.
+//
+//dnalint:hotpath
 func (s *Scratch) WithinDP(a, b dna.Seq, k int) (int, bool) {
 	if k < 0 {
 		return 0, false

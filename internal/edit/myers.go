@@ -57,6 +57,8 @@ func LevenshteinBP(a, b dna.Seq) int {
 
 // LevenshteinBP is the scratch-reusing form of the package-level
 // LevenshteinBP; results are identical to LevenshteinDP.
+//
+//dnalint:hotpath
 func (s *Scratch) LevenshteinBP(a, b dna.Seq) int {
 	p, t := a, b
 	if len(p) > len(t) {
@@ -84,6 +86,8 @@ func WithinBP(a, b dna.Seq, k int) (int, bool) {
 
 // WithinBP is the scratch-reusing form of the package-level WithinBP;
 // results are identical to WithinDP.
+//
+//dnalint:hotpath
 func (s *Scratch) WithinBP(a, b dna.Seq, k int) (int, bool) {
 	if k < 0 {
 		return 0, false
@@ -118,6 +122,8 @@ func (s *Scratch) WithinBP(a, b dna.Seq, k int) (int, bool) {
 // any length. k < 0 disables the threshold (the distance is always
 // returned with ok=true); k ≥ 0 returns (0, false) as soon as the distance
 // provably exceeds k. The Peq table lives on the stack — no allocation.
+//
+//dnalint:hotpath
 func myers64(pattern, text dna.Seq, k int) (int, bool) {
 	var peq [dna.NumBases]uint64
 	for i, c := range pattern {
@@ -194,6 +200,8 @@ func (s *Scratch) peqBlocks(pattern dna.Seq, blocks int) {
 // word: the column is split into ⌈m/64⌉ block words and the ±1 horizontal
 // delta at each block boundary is carried into the next block's recurrence.
 // Threshold semantics match myers64. All state lives in the Scratch.
+//
+//dnalint:hotpath
 func (s *Scratch) myersBlocked(pattern, text dna.Seq, k int) (int, bool) {
 	m := len(pattern)
 	blocks := (m + wordBits - 1) / wordBits
