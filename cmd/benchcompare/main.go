@@ -8,20 +8,23 @@
 //	go run ./cmd/benchcompare -old ... -new ... -max-regression 0.10
 //	go run ./cmd/benchcompare -old ... -new ... -enforce cluster,edit-kernel
 //
-// Three row families are compared: pipeline stages (strands/sec, or
+// Four row families are compared: pipeline stages (strands/sec, or
 // items/sec for stages without a strand rate), edit-kernel rows (bit-parallel
-// pairs/sec per read length, plus the DP/BP agreement bit), and — when both
+// pairs/sec per read length, plus the DP/BP agreement bit), recon/<algo>
+// rows (clusters/sec per reconstruction algorithm, plus the identity bit
+// holding each pooled run to its reference implementation), and — when both
 // files carry a streaming benchmark measured under the same stream config —
 // streaming rows (bytes/sec per archive size, plus the batch byte-identity
 // bit). A row whose rate dropped by more than -max-regression, a row missing
 // from the new file, or a broken correctness bit is a failure.
 //
 // -enforce narrows which failures are *blocking*: a comma-separated list of
-// row-name prefixes (e.g. "cluster,edit-kernel"). With -enforce set, only
-// failures matching a prefix exit 1; everything else is reported as advisory.
-// Without it every failure blocks, as before. CI uses -enforce to promote
-// the clustering and edit-kernel rows to blocking while the remaining rows
-// stay informational.
+// row-name prefixes (e.g. "cluster,edit-kernel,recon"). With -enforce set,
+// only failures matching a prefix exit 1; everything else is reported as
+// advisory. Without it every failure blocks, as before. CI uses -enforce to
+// promote the clustering, edit-kernel and reconstruction rows to blocking
+// while the remaining rows stay informational; the "recon" prefix matches
+// both the recon/<algo> family and the reconstruct-* pipeline stage rows.
 //
 // When the two files' configs differ — e.g. a full-scale committed baseline
 // against a CI quick run — the numbers are not comparable, so the diff is
@@ -73,14 +76,14 @@ func run() int {
 	}
 
 	var failed []string
-	fmt.Printf("%-16s %14s %14s %9s\n", "row", "old rate/s", "new rate/s", "delta")
+	fmt.Printf("%-24s %14s %14s %9s\n", "row", "old rate/s", "new rate/s", "delta")
 	compareRow := func(name string, oldRate, newRate float64, missing bool, broken string) {
 		switch {
 		case missing:
-			fmt.Printf("%-16s %14.0f %14s %9s  MISSING from new result\n", name, oldRate, "-", "-")
+			fmt.Printf("%-24s %14.0f %14s %9s  MISSING from new result\n", name, oldRate, "-", "-")
 			failed = append(failed, name)
 		case broken != "":
-			fmt.Printf("%-16s %14.0f %14.0f %9s  %s\n", name, oldRate, newRate, "-", broken)
+			fmt.Printf("%-24s %14.0f %14.0f %9s  %s\n", name, oldRate, newRate, "-", broken)
 			failed = append(failed, name)
 		case oldRate > 0:
 			delta := newRate/oldRate - 1
@@ -89,7 +92,7 @@ func run() int {
 				mark = fmt.Sprintf("  REGRESSION beyond %.0f%%", *maxReg*100)
 				failed = append(failed, name)
 			}
-			fmt.Printf("%-16s %14.0f %14.0f %+8.1f%%%s\n", name, oldRate, newRate, delta*100, mark)
+			fmt.Printf("%-24s %14.0f %14.0f %+8.1f%%%s\n", name, oldRate, newRate, delta*100, mark)
 		}
 	}
 
@@ -105,6 +108,15 @@ func run() int {
 			broken = "DP/BP kernels DISAGREE"
 		}
 		compareRow(name, oldK.BPPairsPerSec, newK.BPPairsPerSec, !ok, broken)
+	}
+	for _, oldR := range oldRes.Recons {
+		name := "recon/" + oldR.Algo
+		newR := newRes.ReconAt(oldR.Algo)
+		broken := ""
+		if newR.Algo != "" && !newR.Identical {
+			broken = "consensus NOT identical to reference"
+		}
+		compareRow(name, oldR.ClustersPerSec, newR.ClustersPerSec, newR.Algo == "", broken)
 	}
 	switch {
 	case len(oldRes.Streams) == 0:

@@ -346,8 +346,10 @@ func algorithmByName(name string) (recon.Algorithm, error) {
 		return recon.DoubleSidedBMA{}, nil
 	case "nw", "nwa":
 		return recon.NW{}, nil
+	case "adaptive":
+		return recon.Adaptive{}, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q (bma, dbma, nw)", name)
+		return nil, fmt.Errorf("unknown algorithm %q (bma, dbma, nw, adaptive)", name)
 	}
 }
 
@@ -355,7 +357,7 @@ func cmdReconstruct(args []string) error {
 	fs := flag.NewFlagSet("reconstruct", flag.ExitOnError)
 	in := fs.String("in", "", "clusters file")
 	out := fs.String("out", "", "output consensus strands file")
-	algoName := fs.String("algo", "dbma", "algorithm: bma, dbma, nw")
+	algoName := fs.String("algo", "dbma", "algorithm: bma, dbma, nw, adaptive")
 	length := fs.Int("len", 0, "target strand length (0 = longest read)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -438,7 +440,7 @@ func cmdPipeline(args []string) error {
 	rate := fs.Float64("rate", 0.06, "aggregate per-base error rate")
 	coverage := fs.Int("coverage", 10, "reads per strand")
 	mode := fs.String("mode", "q", "clustering signatures: q or w")
-	algoName := fs.String("algo", "dbma", "reconstruction: bma, dbma, nw")
+	algoName := fs.String("algo", "dbma", "reconstruction: bma, dbma, nw, adaptive")
 	seed := fs.Uint64("seed", 1, "random seed")
 	timeout := fs.Duration("timeout", 0, "per-stage deadline, e.g. 30s (0 = none)")
 	retries := fs.Int("retries", 0, "extra reconstruct+decode attempts with escalated cluster filtering")

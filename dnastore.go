@@ -179,6 +179,9 @@ type (
 	DoubleSidedBMAReconstruction = recon.DoubleSidedBMA
 	// NWReconstruction is the POA/Needleman–Wunsch consensus (§VII-C).
 	NWReconstruction = recon.NW
+	// AdaptiveReconstruction dispatches per cluster: BMA first, POA/NW only
+	// when the BMA consensus fails a quick agreement check.
+	AdaptiveReconstruction = recon.Adaptive
 )
 
 // Reconstruction helpers re-exported from the recon package.

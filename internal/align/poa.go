@@ -14,6 +14,7 @@
 package align
 
 import (
+	"slices"
 	"sort"
 
 	"dnastore/internal/dna"
@@ -46,6 +47,7 @@ type Graph struct {
 	nodes   []node
 	paths   [][]int // node path of each added sequence, in insertion order
 	scratch poaScratch
+	refDP   bool // force the exhaustive-DP alignment kernel (SetReferenceDP)
 }
 
 // poaScratch holds the DP and traversal buffers reused across AddSequence
@@ -64,6 +66,29 @@ type poaScratch struct {
 	order []int
 	ready []int
 	pairs []pair
+
+	// Live-window bounds per node row for the banded kernel (poa_fast.go):
+	// winLo[id]..winHi[id] is the inclusive range of read positions whose DP
+	// cell can still be on an alignment scoring above the pruning bound.
+	winLo []int
+	winHi []int
+
+	// Column-machinery buffers (columnNodes): node→column assignment, ring
+	// walk stack, member CSR, contracted-DAG edge words and Kahn working
+	// sets. Kept separate from the alignment buffers above so a consensus
+	// never invalidates alignment state mid-AddSequence.
+	colOf     []int
+	colStack  []int
+	colCnt    []int
+	colOff    []int
+	colFlat   []int
+	colEdges  []uint64
+	colAdjOff []int
+	colIndeg  []int
+	colSeen   []uint8
+	colReady  []int
+	colOrder  []int
+	colHdr    [][]int
 }
 
 // NewGraph returns an empty POA graph.
@@ -182,93 +207,38 @@ type pair struct {
 // alignToGraph globally aligns s against the graph and returns the pair list
 // in forward order. The returned slice is backed by the graph's scratch and
 // valid until the next alignToGraph call.
+//
+// The default kernel is the windowed wavefront sweep (poa_fast.go), which
+// bails out when the read aligns too badly for the score bound to hold and
+// falls back to the exhaustive DP (poa_dp.go) — so the pair list is always
+// bit-identical to the DP reference. SetReferenceDP forces the reference for
+// differential tests and benchmarks.
 func (g *Graph) alignToGraph(s dna.Seq) []pair {
-	m := len(s)
-	order := g.topoOrder()
-	nNodes := len(g.nodes)
+	if g.refDP {
+		return g.alignToGraphDP(s)
+	}
+	if pairs, ok := g.alignToGraphBanded(s); ok {
+		return pairs
+	}
+	// Hopeless read: the banded sweep's live window collapsed before a
+	// sink, so no alignment reaches the score bound. The read still has to
+	// merge into the graph, and only the full table is exact down there.
+	return g.alignToGraphDP(s)
+}
+
+// SetReferenceDP forces every subsequent alignment through the retained
+// exhaustive-DP reference kernel instead of the windowed fast path. The two
+// produce bit-identical pair lists on every input (the fast path proves its
+// bound or falls back), so this exists only for differential tests, fuzzers
+// and the throughput harness's old-vs-new rows.
+func (g *Graph) SetReferenceDP(on bool) { g.refDP = on }
+
+// traceback walks the move/from tables back from the sink cell (bestEnd, m)
+// and returns the aligned pairs in forward order, backed by the graph's pair
+// scratch. Both alignment kernels share it, so traceback behaviour cannot
+// diverge between them.
+func (g *Graph) traceback(bestEnd, m, stride int, move []uint8, from []int32) []pair {
 	sc := &g.scratch
-
-	// DP tables, flat and scratch-backed: cell (node id, read prefix length
-	// j) lives at id*stride + j. One grow replaces the seed's three fresh
-	// slices per node per added read.
-	stride := m + 1
-	sc.score = growInts(sc.score, nNodes*stride)
-	score := sc.score
-	if cap(sc.move) < nNodes*stride {
-		sc.move = make([]uint8, nNodes*stride)
-		sc.from = make([]int32, nNodes*stride)
-	}
-	move := sc.move[:nNodes*stride]
-	from := sc.from[:nNodes*stride]
-	// Virtual start: S0[j] = j*gap (leading insertions).
-	sc.s0 = growInts(sc.s0, stride)
-	s0 := sc.s0
-	s0[0] = 0
-	for j := 1; j <= m; j++ {
-		s0[j] = j * gapScore
-	}
-
-	// The DP loop body over (id, j): best/bestMove/bestFrom live outside the
-	// loop so the consider closure is built once per call, not once per cell.
-	var (
-		j        int
-		base     dna.Base
-		best     int
-		bestMove uint8
-		bestFrom int32
-	)
-	// Diagonal and vertical moves from one predecessor row (or the virtual
-	// start row for source nodes).
-	consider := func(prevRow []int, prevID int32) {
-		if j >= 1 {
-			sc := prevRow[j-1] + subScore
-			if base == s[j-1] {
-				sc = prevRow[j-1] + matchScore
-			}
-			if sc > best {
-				best, bestMove, bestFrom = sc, moveDiag, prevID
-			}
-		}
-		if sc := prevRow[j] + gapScore; sc > best {
-			best, bestMove, bestFrom = sc, moveVert, prevID
-		}
-	}
-	for _, id := range order {
-		n := &g.nodes[id]
-		base = n.base
-		row := score[id*stride : id*stride+stride]
-		for j = 0; j <= m; j++ {
-			best = -1 << 30
-			bestMove = moveNone
-			bestFrom = -1
-			if len(n.preds) == 0 {
-				consider(s0, -1)
-			}
-			for _, p := range n.preds {
-				consider(score[p*stride:p*stride+stride], int32(p))
-			}
-			// Horizontal: insertion in read.
-			if j >= 1 {
-				if sc := row[j-1] + gapScore; sc > best {
-					best, bestMove, bestFrom = sc, moveHorz, int32(id)
-				}
-			}
-			row[j] = best
-			move[id*stride+j] = bestMove
-			from[id*stride+j] = bestFrom
-		}
-	}
-
-	// Global alignment ends at a sink node with the full read consumed.
-	bestEnd, bestScore := -1, -1<<30
-	for _, id := range order {
-		if len(g.nodes[id].succs) == 0 && score[id*stride+m] > bestScore {
-			bestScore = score[id*stride+m]
-			bestEnd = id
-		}
-	}
-
-	// Traceback.
 	rev := sc.pairs[:0]
 	cur, tj := bestEnd, m
 	for cur != -1 {
@@ -429,94 +399,158 @@ func (c Column) Majority() (dna.Base, bool) {
 
 // columns groups nodes into alignment columns (union of `aligned` rings) and
 // returns, per column, its member nodes, ordered consistently with the node
-// partial order.
+// partial order. The returned headers and member lists are backed by the
+// graph's scratch and valid until the next columnNodes call; the contracted
+// column DAG is built from sorted deduplicated edge words instead of
+// per-column maps so a consensus performs no per-column allocations.
 func (g *Graph) columnNodes() [][]int {
-	colOf := make([]int, len(g.nodes))
+	sc := &g.scratch
+	n := len(g.nodes)
+	sc.colOf = growInts(sc.colOf, n)
+	colOf := sc.colOf
 	for i := range colOf {
 		colOf[i] = -1
 	}
-	var cols [][]int
-	for i := range g.nodes {
+	// Assign column ids in first-discovery order (ascending node id).
+	// aligned rings are maintained as complete cliques, so one hop is
+	// enough; walk transitively anyway for safety.
+	stack := growInts(sc.colStack, n)[:0]
+	nCols := 0
+	for i := 0; i < n; i++ {
 		if colOf[i] >= 0 {
 			continue
 		}
-		id := len(cols)
-		members := []int{i}
+		id := nCols
+		nCols++
 		colOf[i] = id
-		// aligned rings are maintained as complete cliques, so one hop is
-		// enough; walk transitively anyway for safety.
-		stack := append([]int(nil), g.nodes[i].aligned...)
+		stack = append(stack, i)
 		for len(stack) > 0 {
-			n := stack[len(stack)-1]
+			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			if colOf[n] >= 0 {
-				continue
+			for _, w := range g.nodes[v].aligned {
+				if colOf[w] < 0 {
+					colOf[w] = id
+					stack = append(stack, w)
+				}
 			}
-			colOf[n] = id
-			members = append(members, n)
-			stack = append(stack, g.nodes[n].aligned...)
 		}
-		cols = append(cols, members)
+	}
+	sc.colStack = stack[:0]
+
+	// Member lists as one flat CSR, filled in ascending node id per column.
+	sc.colCnt = growInts(sc.colCnt, nCols)
+	cnt := sc.colCnt
+	for c := 0; c < nCols; c++ {
+		cnt[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		cnt[colOf[i]]++
+	}
+	sc.colOff = growInts(sc.colOff, nCols+1)
+	off := sc.colOff
+	off[0] = 0
+	for c := 0; c < nCols; c++ {
+		off[c+1] = off[c] + cnt[c]
+		cnt[c] = 0
+	}
+	sc.colFlat = growInts(sc.colFlat, n)
+	flat := sc.colFlat
+	for i := 0; i < n; i++ {
+		c := colOf[i]
+		flat[off[c]+cnt[c]] = i
+		cnt[c]++
 	}
 
-	// Order columns topologically using the contracted column DAG.
-	nCols := len(cols)
-	succ := make([]map[int]bool, nCols)
-	indeg := make([]int, nCols)
-	for i := range succ {
-		succ[i] = map[int]bool{}
-	}
-	for to := range g.nodes {
+	// Contracted column DAG: edges packed src<<32|dst, sorted and
+	// deduplicated, then walked as a CSR adjacency.
+	edges := sc.colEdges[:0]
+	for to := 0; to < n; to++ {
+		bt := colOf[to]
 		for _, from := range g.nodes[to].preds {
-			a, b := colOf[from], colOf[to]
-			if a != b && !succ[a][b] {
-				succ[a][b] = true
-				indeg[b]++
+			if a := colOf[from]; a != bt {
+				edges = append(edges, uint64(a)<<32|uint64(uint32(bt)))
 			}
 		}
 	}
-	var ready []int
-	for i, d := range indeg {
-		if d == 0 {
-			ready = append(ready, i)
+	slices.Sort(edges)
+	edges = slices.Compact(edges)
+	sc.colAdjOff = growInts(sc.colAdjOff, nCols+1)
+	adjOff := sc.colAdjOff
+	e := 0
+	for c := 0; c < nCols; c++ {
+		adjOff[c] = e
+		for e < len(edges) && int(edges[e]>>32) == c {
+			e++
 		}
 	}
-	sort.Ints(ready)
-	order := make([]int, 0, nCols)
-	seen := make([]bool, nCols)
+	adjOff[nCols] = e
+
+	sc.colIndeg = growInts(sc.colIndeg, nCols)
+	indeg := sc.colIndeg
+	for c := 0; c < nCols; c++ {
+		indeg[c] = 0
+	}
+	for _, w := range edges {
+		indeg[int(uint32(w))]++
+	}
+	if cap(sc.colSeen) < nCols {
+		sc.colSeen = make([]uint8, nCols)
+	}
+	seen := sc.colSeen[:nCols]
+	for c := range seen {
+		seen[c] = 0
+	}
+	ready := growInts(sc.colReady, nCols)[:0]
+	for c := 0; c < nCols; c++ {
+		if indeg[c] == 0 {
+			ready = append(ready, c)
+		}
+	}
+	order := growInts(sc.colOrder, nCols)[:0]
+	// Pop from the front with a head index; the pending region ready[head:]
+	// is kept sorted so ties resolve to the smallest column id.
+	head := 0
 	for len(order) < nCols {
-		if len(ready) == 0 {
+		if head == len(ready) {
 			// Conflicting read orders created a cycle between columns;
 			// break it deterministically at the smallest unseen column.
-			for i := range seen {
-				if !seen[i] {
-					ready = append(ready, i)
+			for c := 0; c < nCols; c++ {
+				if seen[c] == 0 {
+					ready = append(ready, c)
 					break
 				}
 			}
 		}
-		c := ready[0]
-		ready = ready[1:]
-		if seen[c] {
+		c := ready[head]
+		head++
+		if seen[c] != 0 {
 			continue
 		}
-		seen[c] = true
+		seen[c] = 1
 		order = append(order, c)
-		for s := range succ[c] {
+		for i := adjOff[c]; i < adjOff[c+1]; i++ {
+			s := int(uint32(edges[i]))
 			indeg[s]--
-			if indeg[s] <= 0 && !seen[s] {
-				pos := sort.SearchInts(ready, s)
+			if indeg[s] <= 0 && seen[s] == 0 {
+				pos := head + sort.SearchInts(ready[head:], s)
 				ready = append(ready, 0)
 				copy(ready[pos+1:], ready[pos:])
 				ready[pos] = s
 			}
 		}
 	}
-	out := make([][]int, 0, nCols)
-	for _, c := range order {
-		out = append(out, cols[c])
+	sc.colEdges = edges[:0]
+	sc.colReady = ready[:0]
+	sc.colOrder = order
+
+	if cap(sc.colHdr) < nCols {
+		sc.colHdr = make([][]int, nCols)
 	}
-	return out
+	hdr := sc.colHdr[:nCols]
+	for i, c := range order {
+		hdr[i] = flat[off[c]:off[c+1]]
+	}
+	return hdr
 }
 
 // Columns returns the alignment columns in order, with per-base vote counts
@@ -560,21 +594,25 @@ func (g *Graph) Rows() []string {
 	return rows
 }
 
-// Consensus returns the per-column majority consensus. Columns where gaps
-// outnumber every base are dropped. If targetLen > 0 and the consensus is
-// longer, the excess columns with the highest gap (indel) counts are omitted,
-// as described in §VII-C of the paper.
-func (g *Graph) Consensus(targetLen int) dna.Seq {
-	cols := g.Columns()
-	type kept struct {
-		base dna.Base
-		gaps int
-		idx  int
-	}
-	var keep []kept
+// keptColumn is one column surviving the majority filter, carrying enough
+// context for the §VII-C indel trim and for mapping back to the source column.
+type keptColumn struct {
+	base dna.Base
+	gaps int
+	idx  int // index into the Columns() slice
+}
+
+// consensusKeep applies the majority filter and the §VII-C indel-heavy trim
+// to alignment columns: columns where gaps outnumber every base are dropped,
+// and if targetLen > 0 and more than targetLen columns survive, the excess
+// columns with the highest gap counts are omitted (ties resolved by column
+// index, so the result is deterministic). Both Consensus and ConsensusColumns
+// go through here, so "kept columns" means the same thing everywhere.
+func consensusKeep(cols []Column, targetLen int) []keptColumn {
+	var keep []keptColumn
 	for i, c := range cols {
 		if b, ok := c.Majority(); ok {
-			keep = append(keep, kept{b, c.Gaps, i})
+			keep = append(keep, keptColumn{b, c.Gaps, i})
 		}
 	}
 	if targetLen > 0 && len(keep) > targetLen {
@@ -603,11 +641,37 @@ func (g *Graph) Consensus(targetLen int) dna.Seq {
 		}
 		keep = filtered
 	}
+	return keep
+}
+
+// Consensus returns the per-column majority consensus. Columns where gaps
+// outnumber every base are dropped. If targetLen > 0 and the consensus is
+// longer, the excess columns with the highest gap (indel) counts are omitted,
+// as described in §VII-C of the paper.
+func (g *Graph) Consensus(targetLen int) dna.Seq {
+	keep := consensusKeep(g.Columns(), targetLen)
 	out := make(dna.Seq, len(keep))
 	for i, k := range keep {
 		out[i] = k.base
 	}
 	return out
+}
+
+// ConsensusColumns returns the consensus and, parallel to it base-for-base,
+// the alignment columns that produced it — i.e. the columns that survived the
+// majority filter and the §VII-C indel trim. Confidence metrics must be
+// computed over these kept columns, not over Columns(), which still includes
+// every trimmed indel-heavy column (see recon.ConsensusWithConfidence).
+func (g *Graph) ConsensusColumns(targetLen int) (dna.Seq, []Column) {
+	cols := g.Columns()
+	keep := consensusKeep(cols, targetLen)
+	out := make(dna.Seq, len(keep))
+	keptCols := make([]Column, len(keep))
+	for i, k := range keep {
+		out[i] = k.base
+		keptCols[i] = cols[k.idx]
+	}
+	return out, keptCols
 }
 
 // ConsensusOf resets the graph, aligns all reads into it and returns the

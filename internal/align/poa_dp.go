@@ -1,0 +1,99 @@
+package align
+
+import "dnastore/internal/dna"
+
+// alignToGraphDP is the retained exhaustive-DP alignment kernel: global
+// Needleman–Wunsch over the graph's topological order, computing every cell
+// of every node row. It is the reference the windowed kernel in poa_fast.go
+// is held bit-identical to (differential tests + FuzzReconDispatch), and the
+// exact fallback when that kernel's pruning bound fails. Do not "improve"
+// this body — its cell-evaluation order defines the tie-breaking contract
+// both kernels must honour.
+func (g *Graph) alignToGraphDP(s dna.Seq) []pair {
+	m := len(s)
+	order := g.topoOrder()
+	nNodes := len(g.nodes)
+	sc := &g.scratch
+
+	// DP tables, flat and scratch-backed: cell (node id, read prefix length
+	// j) lives at id*stride + j. One grow replaces the seed's three fresh
+	// slices per node per added read.
+	stride := m + 1
+	sc.score = growInts(sc.score, nNodes*stride)
+	score := sc.score
+	if cap(sc.move) < nNodes*stride {
+		sc.move = make([]uint8, nNodes*stride)
+		sc.from = make([]int32, nNodes*stride)
+	}
+	move := sc.move[:nNodes*stride]
+	from := sc.from[:nNodes*stride]
+	// Virtual start: S0[j] = j*gap (leading insertions).
+	sc.s0 = growInts(sc.s0, stride)
+	s0 := sc.s0
+	s0[0] = 0
+	for j := 1; j <= m; j++ {
+		s0[j] = j * gapScore
+	}
+
+	// The DP loop body over (id, j): best/bestMove/bestFrom live outside the
+	// loop so the consider closure is built once per call, not once per cell.
+	var (
+		j        int
+		base     dna.Base
+		best     int
+		bestMove uint8
+		bestFrom int32
+	)
+	// Diagonal and vertical moves from one predecessor row (or the virtual
+	// start row for source nodes).
+	consider := func(prevRow []int, prevID int32) {
+		if j >= 1 {
+			sc := prevRow[j-1] + subScore
+			if base == s[j-1] {
+				sc = prevRow[j-1] + matchScore
+			}
+			if sc > best {
+				best, bestMove, bestFrom = sc, moveDiag, prevID
+			}
+		}
+		if sc := prevRow[j] + gapScore; sc > best {
+			best, bestMove, bestFrom = sc, moveVert, prevID
+		}
+	}
+	for _, id := range order {
+		n := &g.nodes[id]
+		base = n.base
+		row := score[id*stride : id*stride+stride]
+		for j = 0; j <= m; j++ {
+			best = -1 << 30
+			bestMove = moveNone
+			bestFrom = -1
+			if len(n.preds) == 0 {
+				consider(s0, -1)
+			}
+			for _, p := range n.preds {
+				consider(score[p*stride:p*stride+stride], int32(p))
+			}
+			// Horizontal: insertion in read.
+			if j >= 1 {
+				if sc := row[j-1] + gapScore; sc > best {
+					best, bestMove, bestFrom = sc, moveHorz, int32(id)
+				}
+			}
+			row[j] = best
+			move[id*stride+j] = bestMove
+			from[id*stride+j] = bestFrom
+		}
+	}
+
+	// Global alignment ends at a sink node with the full read consumed.
+	bestEnd, bestScore := -1, -1<<30
+	for _, id := range order {
+		if len(g.nodes[id].succs) == 0 && score[id*stride+m] > bestScore {
+			bestScore = score[id*stride+m]
+			bestEnd = id
+		}
+	}
+
+	return g.traceback(bestEnd, m, stride, move, from)
+}

@@ -104,7 +104,7 @@ func TestFig5Shape(t *testing.T) {
 
 func TestFig6Shape(t *testing.T) {
 	r := Fig6(QuickFig6())
-	if len(r.Names) != 3 {
+	if len(r.Names) != 4 {
 		t.Fatalf("names = %v", r.Names)
 	}
 	// BMA peaks late, DBMA peaks in the middle, NW has the lowest peak.

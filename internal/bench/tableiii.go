@@ -13,7 +13,8 @@ import (
 )
 
 // Fig6Config sizes the reconstruction-profile experiment (Fig. 6): the
-// per-index error rate of BMA, double-sided BMA and Needleman–Wunsch.
+// per-index error rate of BMA, double-sided BMA and Needleman–Wunsch, plus
+// the adaptive BMA/POA dispatcher.
 type Fig6Config struct {
 	Clusters  int
 	StrandLen int
@@ -56,7 +57,7 @@ func (r Fig6Result) Peak(name string) float64 {
 	return p
 }
 
-// Fig6 reconstructs the same clusters with all three algorithms.
+// Fig6 reconstructs the same clusters with all the algorithms.
 func Fig6(cfg Fig6Config) Fig6Result {
 	rng := xrand.New(cfg.Seed)
 	refs := make([]dna.Seq, cfg.Clusters)
@@ -69,7 +70,10 @@ func Fig6(cfg Fig6Config) Fig6Result {
 		}
 	}
 	res := Fig6Result{Profiles: map[string][]float64{}, Perfect: map[string]int{}, MeanEdit: map[string]float64{}}
-	for _, algo := range []recon.Algorithm{recon.BMA{}, recon.DoubleSidedBMA{}, recon.NW{}} {
+	// The paper's three algorithms, plus the adaptive dispatcher as a fourth
+	// row: its profile should track NW's wherever BMA's consensus fails the
+	// agreement check, at a fraction of NW's cost.
+	for _, algo := range []recon.Algorithm{recon.BMA{}, recon.DoubleSidedBMA{}, recon.NW{}, recon.Adaptive{}} {
 		recons := recon.ReconstructAll(clusters, cfg.StrandLen, algo, 0)
 		res.Names = append(res.Names, algo.Name())
 		res.Profiles[algo.Name()] = recon.ErrorProfile(refs, recons, cfg.StrandLen)

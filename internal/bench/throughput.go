@@ -79,6 +79,20 @@ type EditKernelStat struct {
 	Agree         bool    `json:"agree"`
 }
 
+// ReconStat is one row of the reconstruction-algorithm bench: every
+// Algorithm timed through the same worker pool on the same clusters, with a
+// per-algorithm identity check (Identical) holding the pooled scratch path
+// to its reference: NW's windowed alignment against the exhaustive-DP
+// kernel, Adaptive against the plain output of whichever path it selected,
+// BMA/DBMA's scratch reuse against their fresh-buffer per-call entry points.
+type ReconStat struct {
+	Algo           string  `json:"algo"`
+	Clusters       int     `json:"clusters"`
+	Seconds        float64 `json:"seconds"`
+	ClustersPerSec float64 `json:"clusters_per_sec"`
+	Identical      bool    `json:"identical"`
+}
+
 // ThroughputResult is the full harness output; it marshals directly into
 // BENCH_*.json via cmd/experiments -bench-json.
 type ThroughputResult struct {
@@ -87,6 +101,7 @@ type ThroughputResult struct {
 	GoVersion          string           `json:"go_version"`
 	Stages             []StageStat      `json:"stages"`
 	EditKernels        []EditKernelStat `json:"edit_kernels,omitempty"`
+	Recons             []ReconStat      `json:"recons,omitempty"`
 	ConsensusIdentical bool             `json:"consensus_identical"`
 
 	// StreamConfig and Streams are filled by the streaming benchmark (see
@@ -106,6 +121,16 @@ func (r ThroughputResult) StreamAt(archiveBytes int) StreamStat {
 		}
 	}
 	return StreamStat{}
+}
+
+// ReconAt returns the named algorithm's recon row (zero value when absent).
+func (r ThroughputResult) ReconAt(algo string) ReconStat {
+	for _, s := range r.Recons {
+		if s.Algo == algo {
+			return s
+		}
+	}
+	return ReconStat{}
 }
 
 // Stage returns the named stage's stats (zero value when absent).
@@ -284,6 +309,9 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	}
 	res.Stages = append(res.Stages, st)
 
+	// --- reconstruction algorithms head-to-head (recon/<algo> rows) ---
+	res.Recons = reconBench(clusters, cfg.StrandLen)
+
 	// --- decode (strand parsing + RS correction on the encoded pool) ---
 	var decoded []byte
 	st = timeStage("decode", "strand", len(encoded), len(encoded), len(data), func() {
@@ -360,6 +388,56 @@ func editKernelBench(cfg ThroughputConfig) []EditKernelStat {
 	return out
 }
 
+// reconBench times every reconstruction algorithm through the same worker
+// pool on the same clusters (the recon/<algo> row family) and verifies each
+// pooled, scratch-reusing run against its reference: NW against the
+// exhaustive-DP alignment kernel, Adaptive against the plain output of the
+// path its dispatch selected (BMA or NW — its contract is bit-identity with
+// one of them), BMA and DoubleSidedBMA against their fresh-buffer per-call
+// entry points. cmd/benchcompare treats a false Identical as a broken
+// correctness bit, not a throughput delta.
+func reconBench(clusters [][]dna.Seq, targetLen int) []ReconStat {
+	algos := []recon.Algorithm{recon.NW{}, recon.BMA{}, recon.DoubleSidedBMA{}, recon.Adaptive{}}
+	outs := make(map[string][]dna.Seq, len(algos))
+	var stats []ReconStat
+	for _, algo := range algos {
+		var out []dna.Seq
+		st := timeStage("recon/"+algo.Name(), "cluster", len(clusters), 0, 0, func() {
+			out = recon.ReconstructAll(clusters, targetLen, algo, 0)
+		})
+		outs[algo.Name()] = out
+		stats = append(stats, ReconStat{
+			Algo:           algo.Name(),
+			Clusters:       len(clusters),
+			Seconds:        st.Seconds,
+			ClustersPerSec: st.ItemsPerSec,
+			Identical:      true,
+		})
+	}
+	setIdentical := func(algo string, ok bool) {
+		for i := range stats {
+			if stats[i].Algo == algo {
+				stats[i].Identical = stats[i].Identical && ok
+			}
+		}
+	}
+	refG := align.NewGraph()
+	refG.SetReferenceDP(true)
+	for i, cl := range clusters {
+		if len(cl) == 0 {
+			continue
+		}
+		nw, bma := outs[recon.NW{}.Name()][i], outs[recon.BMA{}.Name()][i]
+		setIdentical(recon.NW{}.Name(), nw.Equal(refG.ConsensusOf(cl, targetLen)))
+		setIdentical(recon.BMA{}.Name(), bma.Equal(recon.BMA{}.Reconstruct(cl, targetLen)))
+		setIdentical(recon.DoubleSidedBMA{}.Name(),
+			outs[recon.DoubleSidedBMA{}.Name()][i].Equal(recon.DoubleSidedBMA{}.Reconstruct(cl, targetLen)))
+		ad := outs[recon.Adaptive{}.Name()][i]
+		setIdentical(recon.Adaptive{}.Name(), ad.Equal(bma) || ad.Equal(nw))
+	}
+	return stats
+}
+
 func largestCluster(clusters [][]dna.Seq) []dna.Seq {
 	var best []dna.Seq
 	for _, cl := range clusters {
@@ -411,6 +489,13 @@ func RenderThroughput(w io.Writer, r ThroughputResult) {
 		for _, e := range r.EditKernels {
 			fmt.Fprintf(w, "%-8d %6d %8d %14.0f %14.0f %8.1fx %6v\n",
 				e.ReadLen, e.K, e.Pairs, e.DPPairsPerSec, e.BPPairsPerSec, e.Speedup, e.Agree)
+		}
+	}
+	if len(r.Recons) > 0 {
+		fmt.Fprintf(w, "\nRECONSTRUCTION ALGORITHMS — pooled workers, identity-checked vs reference\n")
+		fmt.Fprintf(w, "%-24s %10s %14s %10s\n", "algo", "clusters", "clusters/s", "identical")
+		for _, s := range r.Recons {
+			fmt.Fprintf(w, "%-24s %10d %14.0f %10v\n", s.Algo, s.Clusters, s.ClustersPerSec, s.Identical)
 		}
 	}
 	fmt.Fprintf(w, "consensus byte-identical to seed implementation: %v\n", r.ConsensusIdentical)

@@ -281,7 +281,9 @@ type RunOptions struct {
 	Retries int
 	// FallbackReconstructor replaces the pipeline's Reconstructor on retry
 	// attempts — typically the slower NW/POA consensus as a second opinion
-	// after a fast BMA first pass. Nil keeps the primary reconstructor.
+	// after a fast BMA first pass. (recon.Adaptive makes that trade per
+	// cluster instead of per attempt; a pipeline already running it rarely
+	// needs a fallback.) Nil keeps the primary reconstructor.
 	FallbackReconstructor Reconstructor
 	// BestEffort salvages a partial file instead of failing: when decode
 	// still fails after all retries, Run returns every recoverable byte
@@ -522,8 +524,14 @@ func escalation(attempt int, opts RunOptions, primary Reconstructor) (int, Recon
 	return minSize, rec
 }
 
-// filterClusters materializes the clusters with at least minSize reads.
+// filterClusters materializes the clusters with at least minSize reads. The
+// floor is clamped to 1: a memberless cluster can only ever reconstruct to
+// an erasure, so even "keep all" (MinClusterSize 0, or a negative value)
+// drops it here instead of handing the reconstruction pool empty work.
 func filterClusters(seqs []dna.Seq, clusters [][]int, minSize int) ([][]dna.Seq, [][]int) {
+	if minSize < 1 {
+		minSize = 1
+	}
 	clusterSeqs := make([][]dna.Seq, 0, len(clusters))
 	kept := make([][]int, 0, len(clusters))
 	for _, members := range clusters {

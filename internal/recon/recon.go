@@ -14,8 +14,20 @@
 //     (internal/align), followed by a per-column majority vote, trimming
 //     indel-heavy columns when the alignment exceeds the expected length.
 //
+// A fourth, Adaptive, is a per-cluster dispatcher in the style of
+// edit.Scratch's kernel dispatch: it runs the cheap BMA sweep first and
+// accepts its consensus when a quick agreement check passes (full target
+// length and every read within a small edit radius of the consensus,
+// verified with the thresholded bit-parallel kernel); only disagreeing
+// clusters pay for the O(nodes·m) POA alignment. Its output is always
+// bit-identical to whichever of BMA or NW it selected — pinned by
+// FuzzReconDispatch.
+//
 // All algorithms reconstruct clusters independently, so ReconstructAll fans
-// out over a worker pool.
+// out over a worker pool; each worker owns one Scratch holding every buffer
+// the algorithms need (POA graph, edit-distance kernels, BMA lookahead and
+// reversal buffers), so steady-state reconstruction performs no per-cluster
+// table allocations.
 package recon
 
 import (
@@ -26,15 +38,84 @@ import (
 
 	"dnastore/internal/align"
 	"dnastore/internal/dna"
+	"dnastore/internal/edit"
 )
 
 // Algorithm reconstructs a consensus strand from a cluster of noisy reads.
 // targetLen is the nominal encoded strand length; implementations aim to
 // return exactly that many bases but may return fewer when a cluster is
-// exhausted early.
+// exhausted early. Degenerate clusters — no reads, only empty reads, or a
+// non-positive targetLen — deterministically yield nil (an erasure for the
+// outer code), never a panic.
 type Algorithm interface {
 	Name() string
 	Reconstruct(reads []dna.Seq, targetLen int) dna.Seq
+}
+
+// Scratch owns every reusable buffer the reconstruction algorithms need: the
+// POA graph with its DP tables, the edit-distance kernels' rows and bit
+// vectors, the BMA pointer/lookahead buffers and the DoubleSidedBMA
+// read-reversal slots. The zero value is ready to use; buffers grow on
+// demand and are never shrunk. A Scratch must not be shared between
+// goroutines: ReconstructAllContext holds one per worker, the same ownership
+// rule scratchown enforces for align.Graph and edit.Scratch.
+//
+// Every buffer is fully rewritten before it is read on each call (pointers
+// zeroed, lookahead windows filled per position, reversal slots rebuilt per
+// cluster, the graph Reset on entry), so a panic salvaged mid-cluster cannot
+// leak one cluster's state into the next.
+//
+//dnalint:scratch
+type Scratch struct {
+	graph    *align.Graph
+	edit     edit.Scratch
+	ptr      []int
+	future   []dna.Base
+	insBuf   dna.Seq
+	reversed []dna.Seq
+}
+
+// poaGraph returns the scratch's POA graph, allocating it on first use so
+// BMA-only workers never pay for one.
+func (s *Scratch) poaGraph() *align.Graph {
+	if s.graph == nil {
+		s.graph = align.NewGraph()
+	}
+	return s.graph
+}
+
+// ScratchReconstructor is implemented by algorithms that can thread a
+// per-worker Scratch through their reconstruction, avoiding per-cluster
+// allocations. ReconstructScratch must return exactly what Reconstruct
+// returns for the same inputs — the scratch changes cost, never output.
+type ScratchReconstructor interface {
+	Algorithm
+	ReconstructScratch(sc *Scratch, reads []dna.Seq, targetLen int) dna.Seq
+}
+
+// degenerate reports whether a cluster has nothing reconstructable: no
+// reads, only empty reads, or a non-positive target length. All algorithms
+// return nil for such clusters instead of leaning on the worker pool's panic
+// isolation.
+func degenerate(reads []dna.Seq, targetLen int) bool {
+	if targetLen <= 0 || len(reads) == 0 {
+		return true
+	}
+	for _, r := range reads {
+		if len(r) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// growInts returns buf resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // BMA is the baseline BMA-lookahead algorithm (§VII-A).
@@ -56,18 +137,36 @@ func (b BMA) lookahead() int {
 
 // Reconstruct implements Algorithm.
 func (b BMA) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
-	return bmaForward(reads, targetLen, b.lookahead())
+	var sc Scratch
+	return b.ReconstructScratch(&sc, reads, targetLen)
 }
 
-// bmaForward runs the left-to-right BMA-lookahead consensus.
-func bmaForward(reads []dna.Seq, targetLen int, w int) dna.Seq {
-	ptr := make([]int, len(reads))
-	out := make(dna.Seq, 0, targetLen)
-	// Lookahead buffers, reused across consensus positions: the predicted
-	// upcoming consensus and the insertion-hypothesis window. Allocating them
-	// inside the loop costs O(targetLen · disagreeing reads) allocations.
-	future := make([]dna.Base, w)
-	insBuf := make(dna.Seq, w)
+// ReconstructScratch implements ScratchReconstructor.
+func (b BMA) ReconstructScratch(sc *Scratch, reads []dna.Seq, targetLen int) dna.Seq {
+	if degenerate(reads, targetLen) {
+		return nil
+	}
+	return bmaForward(sc, reads, targetLen, b.lookahead())
+}
+
+// bmaForward runs the left-to-right BMA-lookahead consensus. The pointer,
+// predicted-consensus and insertion-hypothesis buffers come from the
+// scratch; only the consensus itself is allocated.
+//
+//dnalint:hotpath
+func bmaForward(sc *Scratch, reads []dna.Seq, targetLen int, w int) dna.Seq {
+	sc.ptr = growInts(sc.ptr, len(reads))
+	ptr := sc.ptr
+	for i := range ptr {
+		ptr[i] = 0
+	}
+	if cap(sc.future) < w {
+		sc.future = make([]dna.Base, w) //dnalint:allow hotpathalloc -- amortized scratch growth, reused across every cluster this worker reconstructs
+		sc.insBuf = make(dna.Seq, w)    //dnalint:allow hotpathalloc -- amortized scratch growth, reused across every cluster this worker reconstructs
+	}
+	future := sc.future[:w]
+	insBuf := sc.insBuf[:w]
+	out := make(dna.Seq, 0, targetLen) //dnalint:allow hotpathalloc -- the consensus escapes to the caller; one allocation per cluster by design
 	for len(out) < targetLen {
 		// Majority vote at the current pointers.
 		var votes [dna.NumBases]int
@@ -114,7 +213,7 @@ func bmaForward(reads []dna.Seq, targetLen int, w int) dna.Seq {
 			}
 			future[k] = f
 		}
-		out = append(out, best)
+		out = append(out, best) //dnalint:allow hotpathalloc -- appends into the pre-sized consensus buffer above
 		// Advance pointers, realigning disagreeing reads by the most likely
 		// edit (§VII-A).
 		for r := range ptr {
@@ -152,6 +251,8 @@ func bmaForward(reads []dna.Seq, targetLen int, w int) dna.Seq {
 // matchScore counts matches of read[from:] against the expected bases,
 // normalized to tolerate running off the end of the read (missing positions
 // score as half a mismatch).
+//
+//dnalint:hotpath
 func matchScore(read dna.Seq, from int, expect []dna.Base) int {
 	score := 0
 	for k, e := range expect {
@@ -169,6 +270,26 @@ func matchScore(read dna.Seq, from int, expect []dna.Base) int {
 	return score
 }
 
+// reverseInto writes src reversed into dst; the slices must have equal
+// length and not alias.
+//
+//dnalint:hotpath
+func reverseInto(dst, src dna.Seq) {
+	n := len(src)
+	for i := 0; i < n; i++ {
+		dst[i] = src[n-1-i]
+	}
+}
+
+// reverseInPlace reverses s.
+//
+//dnalint:hotpath
+func reverseInPlace(s dna.Seq) {
+	for l, r := 0, len(s)-1; l < r; l, r = l+1, r-1 {
+		s[l], s[r] = s[r], s[l]
+	}
+}
+
 // DoubleSidedBMA reconstructs the left half left-to-right and the right half
 // right-to-left, joining in the middle (§VII-B).
 type DoubleSidedBMA struct {
@@ -180,16 +301,40 @@ func (DoubleSidedBMA) Name() string { return "double-sided-bma" }
 
 // Reconstruct implements Algorithm.
 func (d DoubleSidedBMA) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	var sc Scratch
+	return d.ReconstructScratch(&sc, reads, targetLen)
+}
+
+// ReconstructScratch implements ScratchReconstructor. The per-read reversal
+// buffers live in per-worker scratch slots (sc.reversed), so the right-half
+// pass costs no slice-of-slices allocation per cluster — the regression this
+// fixes allocated len(reads)+1 sequences per call.
+func (d DoubleSidedBMA) ReconstructScratch(sc *Scratch, reads []dna.Seq, targetLen int) dna.Seq {
+	if degenerate(reads, targetLen) {
+		return nil
+	}
 	w := BMA{Lookahead: d.Lookahead}.lookahead()
 	leftLen := (targetLen + 1) / 2
 	rightLen := targetLen - leftLen
-	left := bmaForward(reads, leftLen, w)
-	reversed := make([]dna.Seq, len(reads))
-	for i, r := range reads {
-		reversed[i] = r.Reverse()
+	left := bmaForward(sc, reads, leftLen, w)
+	if cap(sc.reversed) < len(reads) {
+		grown := make([]dna.Seq, len(reads))
+		copy(grown, sc.reversed) // keep the capacity of existing slots
+		sc.reversed = grown
 	}
-	right := bmaForward(reversed, rightLen, w).Reverse()
-	out := make(dna.Seq, 0, targetLen)
+	rev := sc.reversed[:len(reads)]
+	for i, r := range reads {
+		buf := rev[i]
+		if cap(buf) < len(r) {
+			buf = make(dna.Seq, len(r))
+		}
+		buf = buf[:len(r)]
+		reverseInto(buf, r)
+		rev[i] = buf
+	}
+	right := bmaForward(sc, rev, rightLen, w)
+	reverseInPlace(right) // bmaForward returns a fresh buffer, safe in place
+	out := make(dna.Seq, 0, len(left)+len(right))
 	out = append(out, left...)
 	out = append(out, right...)
 	return out
@@ -205,14 +350,121 @@ func (NW) Name() string { return "needleman-wunsch" }
 
 // Reconstruct implements Algorithm.
 func (NW) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	if degenerate(reads, targetLen) {
+		return nil
+	}
 	return align.Consensus(reads, targetLen)
+}
+
+// ReconstructScratch implements ScratchReconstructor: consensus goes through
+// the scratch's per-worker POA graph, whose DP tables and node storage are
+// reused across every cluster the worker reconstructs.
+func (NW) ReconstructScratch(sc *Scratch, reads []dna.Seq, targetLen int) dna.Seq {
+	if degenerate(reads, targetLen) {
+		return nil
+	}
+	return sc.poaGraph().ConsensusOf(reads, targetLen)
+}
+
+// Adaptive dispatches per cluster between the BMA sweep and the NW/POA
+// consensus, mirroring how edit.Scratch dispatches between its DP and
+// bit-parallel kernels: run the cheap kernel first, verify, and only pay for
+// the expensive one when verification fails. The BMA consensus is accepted
+// when it reaches the full target length and every non-empty read lies
+// within MaxDist edits of it (checked with the thresholded bit-parallel
+// Within kernel, which bails early on disagreeing reads). Easy low-noise
+// clusters — the overwhelming majority at realistic error rates — never pay
+// the O(nodes·m) graph alignment.
+//
+// The output is bit-identical to whichever algorithm the dispatch selected:
+// accepted clusters return exactly BMA's consensus, rejected ones exactly
+// NW's (pinned by FuzzReconDispatch). The agreement check can only *reject*
+// BMA output, so Adaptive is never less accurate than BMA; on clusters where
+// BMA and NW genuinely differ, rejection hands the cluster to the stronger
+// NW reconstruction.
+type Adaptive struct {
+	// Lookahead is the BMA lookahead window (default 3).
+	Lookahead int
+	// MaxDist is the per-read agreement radius in edits. <= 0 uses
+	// max(3, targetLen/12) — comfortably above the edits a read carries at
+	// the simulator's operating points when the consensus is right, and far
+	// below the distance to a consensus that went off the rails.
+	MaxDist int
+}
+
+// Name implements Algorithm.
+func (Adaptive) Name() string { return "adaptive" }
+
+// Reconstruct implements Algorithm.
+func (a Adaptive) Reconstruct(reads []dna.Seq, targetLen int) dna.Seq {
+	var sc Scratch
+	return a.ReconstructScratch(&sc, reads, targetLen)
+}
+
+// ReconstructScratch implements ScratchReconstructor.
+func (a Adaptive) ReconstructScratch(sc *Scratch, reads []dna.Seq, targetLen int) dna.Seq {
+	out, _ := a.reconstruct(sc, reads, targetLen)
+	return out
+}
+
+// reconstruct returns the consensus and whether the POA path produced it
+// (false: the BMA consensus passed the agreement check, or the cluster was
+// degenerate). The second return exists for the differential fuzzer, which
+// must compare against the reference implementation of the selected path.
+func (a Adaptive) reconstruct(sc *Scratch, reads []dna.Seq, targetLen int) (dna.Seq, bool) {
+	if degenerate(reads, targetLen) {
+		return nil, false
+	}
+	w := BMA{Lookahead: a.Lookahead}.lookahead()
+	cons := bmaForward(sc, reads, targetLen, w)
+	if a.agrees(sc, reads, cons, targetLen) {
+		return cons, false
+	}
+	return NW{}.ReconstructScratch(sc, reads, targetLen), true
+}
+
+// maxDist returns the effective agreement radius for a target length.
+func (a Adaptive) maxDist(targetLen int) int {
+	if a.MaxDist > 0 {
+		return a.MaxDist
+	}
+	k := targetLen / 12
+	if k < 3 {
+		k = 3
+	}
+	return k
+}
+
+// agrees is the quick agreement check: the BMA consensus must reach the full
+// target length (BMA exhausting a cluster early is itself a disagreement
+// signal) and every non-empty read must be within the agreement radius.
+// Empty reads carry no signal and are ignored, matching how the vote treats
+// them.
+func (a Adaptive) agrees(sc *Scratch, reads []dna.Seq, cons dna.Seq, targetLen int) bool {
+	if len(cons) != targetLen {
+		return false
+	}
+	k := a.maxDist(targetLen)
+	for _, r := range reads {
+		if len(r) == 0 {
+			continue
+		}
+		if _, ok := sc.edit.Within(r, cons, k); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // ConsensusWithConfidence reconstructs a cluster with the NW/POA algorithm
 // and additionally reports a per-strand confidence: the mean vote fraction
-// of the kept consensus columns. Confidence near 1 means the reads agree
-// almost everywhere; low confidence flags clusters whose consensus should
-// be treated with suspicion (e.g. dropped in favour of an erasure).
+// of the kept consensus columns — exactly the columns whose majority bases
+// form the returned consensus, after the §VII-C indel-heavy trim. Columns
+// the trim discarded do not dilute the score (they voted for nothing in the
+// output). Confidence near 1 means the reads agree almost everywhere; low
+// confidence flags clusters whose consensus should be treated with suspicion
+// (e.g. dropped in favour of an erasure). An empty consensus has no kept
+// columns and reports confidence 0.
 func ConsensusWithConfidence(reads []dna.Seq, targetLen int) (dna.Seq, float64) {
 	if len(reads) == 0 {
 		return nil, 0
@@ -221,23 +473,16 @@ func ConsensusWithConfidence(reads []dna.Seq, targetLen int) (dna.Seq, float64) 
 	for _, r := range reads {
 		g.AddSequence(r)
 	}
-	consensus := g.Consensus(targetLen)
-	cols := g.Columns()
-	total := 0.0
-	counted := 0
-	for _, c := range cols {
-		b, ok := c.Majority()
-		if !ok {
-			continue
-		}
-		votes := c.Counts[b]
-		total += float64(votes) / float64(len(reads))
-		counted++
-	}
-	if counted == 0 {
+	consensus, kept := g.ConsensusColumns(targetLen)
+	if len(kept) == 0 {
 		return consensus, 0
 	}
-	return consensus, total / float64(counted)
+	total := 0.0
+	for _, c := range kept {
+		b, _ := c.Majority()
+		total += float64(c.Counts[b]) / float64(len(reads))
+	}
+	return consensus, total / float64(len(kept))
 }
 
 // ReconstructAll reconstructs every cluster in parallel and returns one
@@ -277,14 +522,12 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 			// not kill the process — the worker's remaining clusters stay
 			// nil, which the decoder treats as erasures.
 			defer func() { _ = recover() }()
-			// Each worker owns one POA graph: the NW algorithm reuses its DP
-			// scratch and node storage across every cluster this worker
-			// reconstructs, instead of allocating fresh tables per cluster.
-			// The graph is never shared — see DESIGN.md "Performance".
-			var g *align.Graph
-			if _, ok := algo.(NW); ok {
-				g = align.NewGraph()
-			}
+			// Each worker owns one Scratch: algorithms that implement
+			// ScratchReconstructor reuse its POA graph, edit kernels and
+			// BMA buffers across every cluster this worker reconstructs,
+			// instead of allocating fresh tables per cluster. The scratch
+			// is never shared — see DESIGN.md "Performance".
+			var sc Scratch
 			for i := w; i < len(clusters); i += workers {
 				if stop.Load() {
 					return
@@ -294,7 +537,7 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 					return
 				}
 				if len(clusters[i]) > 0 {
-					out[i] = reconstructOne(algo, g, clusters[i], targetLen)
+					out[i] = reconstructOne(algo, &sc, clusters[i], targetLen)
 				}
 			}
 		}(w)
@@ -308,18 +551,19 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 
 // reconstructOne guards a single consensus computation: a panicking
 // Algorithm yields a nil consensus (an erasure for the outer code, §IV)
-// instead of crashing the process. When the caller supplies a per-worker
-// graph (the NW fast path), consensus goes through Graph.ConsensusOf so the
-// graph's scratch is reused; a panic mid-alignment is safe because
-// ConsensusOf begins with a Reset that discards any half-built state.
-func reconstructOne(algo Algorithm, g *align.Graph, cluster []dna.Seq, targetLen int) (out dna.Seq) {
+// instead of crashing the process. Algorithms implementing
+// ScratchReconstructor get the worker's Scratch; a panic mid-cluster is safe
+// because every scratch buffer is fully rewritten before it is read on the
+// next call (and the POA graph begins with a Reset that discards any
+// half-built state).
+func reconstructOne(algo Algorithm, sc *Scratch, cluster []dna.Seq, targetLen int) (out dna.Seq) {
 	defer func() {
 		if recover() != nil {
 			out = nil
 		}
 	}()
-	if g != nil {
-		return g.ConsensusOf(cluster, targetLen)
+	if sr, ok := algo.(ScratchReconstructor); ok {
+		return sr.ReconstructScratch(sc, cluster, targetLen)
 	}
 	return algo.Reconstruct(cluster, targetLen)
 }

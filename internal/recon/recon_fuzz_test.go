@@ -1,0 +1,101 @@
+package recon
+
+import (
+	"testing"
+
+	"dnastore/internal/align"
+	"dnastore/internal/dna"
+)
+
+// decodeFuzzCluster turns fuzz bytes into a cluster: byte 0 is the target
+// length as a signed int8 (negatives exercise the degenerate guards), byte 1
+// picks up to 10 reads, and each read is a length byte (mod 97) followed by
+// that many bases taken from the low two bits of the next bytes. Truncated
+// input yields shorter reads — empty and short reads are valid, interesting
+// clusters.
+func decodeFuzzCluster(data []byte) ([]dna.Seq, int) {
+	if len(data) < 2 {
+		return nil, 0
+	}
+	targetLen := int(int8(data[0]))
+	nReads := int(data[1] % 11)
+	data = data[2:]
+	reads := make([]dna.Seq, 0, nReads)
+	for i := 0; i < nReads; i++ {
+		if len(data) == 0 {
+			break
+		}
+		n := int(data[0] % 97)
+		data = data[1:]
+		if n > len(data) {
+			n = len(data)
+		}
+		r := make(dna.Seq, n)
+		for j := 0; j < n; j++ {
+			r[j] = dna.Base(data[j] & 3)
+		}
+		data = data[n:]
+		reads = append(reads, r)
+	}
+	return reads, targetLen
+}
+
+// FuzzReconDispatch is the differential fuzzer pinning this PR's two fast
+// paths against their retained references on arbitrary clusters:
+//
+//  1. Adaptive's output is bit-identical to whichever algorithm its dispatch
+//     selected — plain BMA when the agreement check passed, plain NW when it
+//     fell back to POA.
+//  2. The windowed graph-alignment kernel produces the same consensus as the
+//     exhaustive-DP kernel (SetReferenceDP).
+//  3. Every ScratchReconstructor's scratch-threaded path matches its plain
+//     per-call path, with one Scratch reused across all of them.
+func FuzzReconDispatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x05, 0x04, 0x01, 0x02, 0x03, 0x00})
+	f.Add([]byte{0x85, 0x02, 0x03, 0x01, 0x02, 0x03})
+	f.Add([]byte{
+		0x08, 0x03,
+		0x08, 0x00, 0x01, 0x02, 0x03, 0x00, 0x01, 0x02, 0x03,
+		0x08, 0x00, 0x01, 0x02, 0x03, 0x00, 0x01, 0x02, 0x03,
+		0x08, 0x00, 0x01, 0x02, 0x03, 0x00, 0x01, 0x02, 0x03,
+	})
+	f.Add([]byte{
+		0x06, 0x02,
+		0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x06, 0x03, 0x03, 0x03, 0x03, 0x03, 0x03,
+	})
+	f.Add([]byte{0x05, 0x02, 0x02, 0x01, 0x02, 0x02, 0x03, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reads, targetLen := decodeFuzzCluster(data)
+		var sc Scratch
+
+		got, usedPOA := Adaptive{}.reconstruct(&sc, reads, targetLen)
+		var want dna.Seq
+		if usedPOA {
+			want = NW{}.Reconstruct(reads, targetLen)
+		} else {
+			want = BMA{}.Reconstruct(reads, targetLen)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("adaptive (POA=%v) diverges from the selected reference\n got=%v\nwant=%v", usedPOA, got, want)
+		}
+
+		if !degenerate(reads, targetLen) {
+			ref := align.NewGraph()
+			ref.SetReferenceDP(true)
+			refCons := ref.ConsensusOf(reads, targetLen)
+			if fast := align.Consensus(reads, targetLen); !fast.Equal(refCons) {
+				t.Fatalf("windowed alignment consensus diverges from DP\n got=%v\nwant=%v", fast, refCons)
+			}
+		}
+
+		for _, algo := range scratchAlgorithms {
+			plain := algo.Reconstruct(reads, targetLen)
+			if scr := algo.ReconstructScratch(&sc, reads, targetLen); !scr.Equal(plain) {
+				t.Fatalf("%s: scratch path diverges\n got=%v\nwant=%v", algo.Name(), scr, plain)
+			}
+		}
+	})
+}

@@ -24,7 +24,7 @@ func makeClusters(seed uint64, numClusters, length, coverage int, rate float64) 
 	return refs, clusters
 }
 
-var algorithms = []Algorithm{BMA{}, DoubleSidedBMA{}, NW{}}
+var algorithms = []Algorithm{BMA{}, DoubleSidedBMA{}, NW{}, Adaptive{}}
 
 func TestCleanClusterIsIdentity(t *testing.T) {
 	rng := xrand.New(1)
@@ -180,7 +180,7 @@ func TestAlgorithmNames(t *testing.T) {
 	for _, a := range algorithms {
 		names[a.Name()] = true
 	}
-	if len(names) != 3 {
+	if len(names) != len(algorithms) {
 		t.Fatalf("algorithm names not distinct: %v", names)
 	}
 }
