@@ -49,6 +49,7 @@ fuzz-smoke:
 	$(GO) test ./internal/fastq -run '^$$' -fuzz '^FuzzFastqParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/edit -run '^$$' -fuzz '^FuzzLevenshtein$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/edit -run '^$$' -fuzz '^FuzzMyersVsDP$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz '^FuzzSigDistance$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/recon -run '^$$' -fuzz '^FuzzReconDispatch$$' -fuzztime $(FUZZTIME)
 
 # Microbenchmarks in every package plus the table/figure reproduction
@@ -61,7 +62,7 @@ bench:
 # plus the end-to-end streaming benchmark (peak heap, overlap ratio, batch
 # comparison at 1/16/64 MiB — the full run takes a few minutes).
 # Emits the BENCH_*.json trajectory the ROADMAP re-anchor reads.
-BENCH_JSON ?= BENCH_pr8.json
+BENCH_JSON ?= BENCH_pr9.json
 bench-json:
 	$(GO) run ./cmd/experiments -run throughput -bench-json $(BENCH_JSON)
 
@@ -83,7 +84,7 @@ bench-ci:
 # vs the committed full-scale baseline). BENCH_ENFORCE narrows which rows
 # block: CI passes "cluster,edit-kernel,recon" so those rows fail the build
 # while the rest stay advisory; empty (the default) blocks on every row.
-BENCH_PREV ?= BENCH_pr5.json
+BENCH_PREV ?= BENCH_pr8.json
 BENCH_ENFORCE ?=
 bench-compare:
 	$(GO) run ./cmd/benchcompare -old $(BENCH_PREV) -new $(BENCH_JSON) -enforce "$(BENCH_ENFORCE)"

@@ -8,15 +8,18 @@
 //	go run ./cmd/benchcompare -old ... -new ... -max-regression 0.10
 //	go run ./cmd/benchcompare -old ... -new ... -enforce cluster,edit-kernel
 //
-// Four row families are compared: pipeline stages (strands/sec, or
+// Five row families are compared: pipeline stages (strands/sec, or
 // items/sec for stages without a strand rate), edit-kernel rows (bit-parallel
 // pairs/sec per read length, plus the DP/BP agreement bit), recon/<algo>
 // rows (clusters/sec per reconstruction algorithm, plus the identity bit
-// holding each pooled run to its reference implementation), and — when both
-// files carry a streaming benchmark measured under the same stream config —
-// streaming rows (bytes/sec per archive size, plus the batch byte-identity
-// bit). A row whose rate dropped by more than -max-regression, a row missing
-// from the new file, or a broken correctness bit is a failure.
+// holding each pooled run to its reference implementation), cluster/<reads>
+// rows (clustering reads/sec per pool size, plus the identity bit holding the
+// fast path to the reference clustering — the identity bit blocks even when
+// the baseline file predates the family), and — when both files carry a
+// streaming benchmark measured under the same stream config — streaming rows
+// (bytes/sec per archive size, plus the batch byte-identity bit). A row whose
+// rate dropped by more than -max-regression, a row missing from the new file,
+// or a broken correctness bit is a failure.
 //
 // -enforce narrows which failures are *blocking*: a comma-separated list of
 // row-name prefixes (e.g. "cluster,edit-kernel,recon"). With -enforce set,
@@ -117,6 +120,31 @@ func run() int {
 			broken = "consensus NOT identical to reference"
 		}
 		compareRow(name, oldR.ClustersPerSec, newR.ClustersPerSec, newR.Algo == "", broken)
+	}
+	for _, newC := range newRes.ClusterScale {
+		name := fmt.Sprintf("cluster/%d", newC.Reads)
+		broken := ""
+		if !newC.Identical {
+			broken = fmt.Sprintf("cluster output NOT identical (checked vs %s)", newC.IdenticalVs)
+		}
+		oldC := oldRes.ClusterScaleAt(newC.Reads)
+		if oldC.Reads == 0 {
+			// Baseline predates the cluster/<reads> family: the rate is
+			// informational, but the identity bit still blocks.
+			if broken != "" {
+				fmt.Printf("%-24s %14s %14.0f %9s  %s\n", name, "-", newC.ReadsPerSec, "-", broken)
+				failed = append(failed, name)
+			} else {
+				fmt.Printf("%-24s %14s %14.0f %9s  new row, no baseline\n", name, "-", newC.ReadsPerSec, "-")
+			}
+			continue
+		}
+		compareRow(name, oldC.ReadsPerSec, newC.ReadsPerSec, false, broken)
+	}
+	for _, oldC := range oldRes.ClusterScale {
+		if newRes.ClusterScaleAt(oldC.Reads).Reads == 0 {
+			compareRow(fmt.Sprintf("cluster/%d", oldC.Reads), oldC.ReadsPerSec, 0, true, "")
+		}
 	}
 	switch {
 	case len(oldRes.Streams) == 0:

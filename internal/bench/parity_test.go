@@ -154,4 +154,15 @@ func TestThroughputQuick(t *testing.T) {
 			t.Errorf("edit-kernel row at length %d has zero rate", e.ReadLen)
 		}
 	}
+	if len(res.ClusterScale) != len(clusterScaleMults) {
+		t.Fatalf("cluster scaling has %d rows, want %d", len(res.ClusterScale), len(clusterScaleMults))
+	}
+	for _, cs := range res.ClusterScale {
+		if !cs.Identical {
+			t.Errorf("cluster/%d output not identical (checked vs %s)", cs.Reads, cs.IdenticalVs)
+		}
+		if cs.Reads <= 0 || cs.Clusters <= 0 || cs.ReadsPerSec <= 0 {
+			t.Errorf("cluster/%d row has empty fields: %+v", cs.Reads, cs)
+		}
+	}
 }

@@ -93,16 +93,35 @@ type ReconStat struct {
 	Identical      bool    `json:"identical"`
 }
 
+// ClusterScaleStat is one row of the cluster scaling bench (the
+// cluster/<reads> row family): the full clustering stage timed at one pool
+// size, with an output-identity bit. Identical is the acceptance gate for
+// the clustering fast path — speed without bit-identical output is a
+// regression, and cmd/benchcompare marks such a row broken. IdenticalVs
+// records what the output was checked against: "reference" (the retained
+// map-based implementation, Options.Reference) at sizes where running it
+// twice is affordable, "workers" (the fast path at a different worker
+// count, which must not change any output bit) at the largest scale.
+type ClusterScaleStat struct {
+	Reads       int     `json:"reads"`
+	Clusters    int     `json:"clusters"`
+	Seconds     float64 `json:"seconds"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	Identical   bool    `json:"identical"`
+	IdenticalVs string  `json:"identical_vs"`
+}
+
 // ThroughputResult is the full harness output; it marshals directly into
 // BENCH_*.json via cmd/experiments -bench-json.
 type ThroughputResult struct {
-	Config             ThroughputConfig `json:"config"`
-	GoMaxProcs         int              `json:"gomaxprocs"`
-	GoVersion          string           `json:"go_version"`
-	Stages             []StageStat      `json:"stages"`
-	EditKernels        []EditKernelStat `json:"edit_kernels,omitempty"`
-	Recons             []ReconStat      `json:"recons,omitempty"`
-	ConsensusIdentical bool             `json:"consensus_identical"`
+	Config             ThroughputConfig   `json:"config"`
+	GoMaxProcs         int                `json:"gomaxprocs"`
+	GoVersion          string             `json:"go_version"`
+	Stages             []StageStat        `json:"stages"`
+	EditKernels        []EditKernelStat   `json:"edit_kernels,omitempty"`
+	ClusterScale       []ClusterScaleStat `json:"cluster_scale,omitempty"`
+	Recons             []ReconStat        `json:"recons,omitempty"`
+	ConsensusIdentical bool               `json:"consensus_identical"`
 
 	// StreamConfig and Streams are filled by the streaming benchmark (see
 	// stream.go) when cmd/experiments runs it alongside the stage harness.
@@ -131,6 +150,17 @@ func (r ThroughputResult) ReconAt(algo string) ReconStat {
 		}
 	}
 	return ReconStat{}
+}
+
+// ClusterScaleAt returns the cluster scaling row measured at the given read
+// count (zero value when absent).
+func (r ThroughputResult) ClusterScaleAt(reads int) ClusterScaleStat {
+	for _, s := range r.ClusterScale {
+		if s.Reads == reads {
+			return s
+		}
+	}
+	return ClusterScaleStat{}
 }
 
 // Stage returns the named stage's stats (zero value when absent).
@@ -273,6 +303,9 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 			clusteredBytes += len(readSeqs[idx])
 		}
 	}
+
+	// --- cluster scaling (cluster/<reads> rows) ---
+	res.ClusterScale = clusterScaleBench(cfg)
 
 	// --- reconstruct (POA consensus, scratch vs seed) ---
 	var consensuses []dna.Seq
@@ -438,6 +471,88 @@ func reconBench(clusters [][]dna.Seq, targetLen int) []ReconStat {
 	return stats
 }
 
+// clusterScaleMults are the pool-size multipliers of the cluster scaling
+// bench: cfg.Strands × mult strands at the configured coverage (4 800,
+// 48 000 and 192 000 reads at the default config).
+var clusterScaleMults = []int{1, 10, 40}
+
+// clusterScaleRefMaxReads bounds the pool size at which the scaling bench
+// verifies the fast path against the map-based reference implementation —
+// above it the reference run would dominate the harness, so the identity
+// check switches to cross-worker-count determinism of the fast path.
+const clusterScaleRefMaxReads = 50000
+
+// clusterScaleBench times the clustering stage across pool sizes and
+// verifies output identity at every size (see ClusterScaleStat). Each scale
+// gets its own deterministic pool — same strand length, coverage and error
+// model as the headline stage, so the 1× row mirrors the "cluster" stage
+// row's operating point.
+func clusterScaleBench(cfg ThroughputConfig) []ClusterScaleStat {
+	out := make([]ClusterScaleStat, 0, len(clusterScaleMults))
+	for _, mult := range clusterScaleMults {
+		strands := make([]dna.Seq, cfg.Strands*mult)
+		rng := xrand.Derive(cfg.Seed, 0x5ca1e+uint64(mult))
+		for i := range strands {
+			strands[i] = dna.Random(rng, cfg.StrandLen)
+		}
+		reads := sim.SimulatePool(strands, sim.Options{
+			Channel:  sim.CalibratedIID(cfg.ErrorRate),
+			Coverage: sim.FixedCoverage(cfg.Coverage),
+			Seed:     cfg.Seed + 1,
+		})
+		readSeqs := make([]dna.Seq, len(reads))
+		for i, r := range reads {
+			readSeqs[i] = r.Seq
+		}
+		opts := cluster.Options{Seed: cfg.Seed + 3}
+		var res cluster.Result
+		st := timeStage(fmt.Sprintf("cluster/%d", len(readSeqs)), "read",
+			len(readSeqs), 0, 0, func() {
+				res = cluster.Cluster(readSeqs, opts)
+			})
+		row := ClusterScaleStat{
+			Reads:       len(readSeqs),
+			Clusters:    len(res.Clusters),
+			Seconds:     st.Seconds,
+			ReadsPerSec: st.ItemsPerSec,
+		}
+		var check cluster.Result
+		if len(readSeqs) <= clusterScaleRefMaxReads {
+			row.IdenticalVs = "reference"
+			refOpts := opts
+			refOpts.Reference = true
+			check = cluster.Cluster(readSeqs, refOpts)
+		} else {
+			row.IdenticalVs = "workers"
+			wOpts := opts
+			wOpts.Workers = 4
+			check = cluster.Cluster(readSeqs, wOpts)
+		}
+		row.Identical = clustersEqual(res.Clusters, check.Clusters)
+		out = append(out, row)
+	}
+	return out
+}
+
+// clustersEqual reports whether two clusterings are exactly the same
+// partition in the same order.
+func clustersEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func largestCluster(clusters [][]dna.Seq) []dna.Seq {
 	var best []dna.Seq
 	for _, cl := range clusters {
@@ -489,6 +604,15 @@ func RenderThroughput(w io.Writer, r ThroughputResult) {
 		for _, e := range r.EditKernels {
 			fmt.Fprintf(w, "%-8d %6d %8d %14.0f %14.0f %8.1fx %6v\n",
 				e.ReadLen, e.K, e.Pairs, e.DPPairsPerSec, e.BPPairsPerSec, e.Speedup, e.Agree)
+		}
+	}
+	if len(r.ClusterScale) > 0 {
+		fmt.Fprintf(w, "\nCLUSTER SCALING — fast path, output identity-checked at every size\n")
+		fmt.Fprintf(w, "%-16s %10s %10s %12s %10s %12s\n",
+			"pool", "reads", "clusters", "reads/s", "identical", "checked vs")
+		for _, s := range r.ClusterScale {
+			fmt.Fprintf(w, "%-16s %10d %10d %12.0f %10v %12s\n",
+				fmt.Sprintf("cluster/%d", s.Reads), s.Reads, s.Clusters, s.ReadsPerSec, s.Identical, s.IdenticalVs)
 		}
 	}
 	if len(r.Recons) > 0 {

@@ -15,6 +15,13 @@
 // Rounds are parallelized over partitions. Merge decisions are computed
 // independently of merge application, so results are deterministic for a
 // given seed regardless of GOMAXPROCS.
+//
+// Two implementations of the round loop and the straggler sweep coexist: the
+// map-based reference (reference.go) and the allocation-free fast path
+// (roundstate.go, sigbits.go, sweepindex.go). Both produce bit-identical
+// clusters and Stats counters for every seed and worker count; the fast path
+// is the default, the reference serves as oracle and as the fallback for
+// configurations outside the fast path's packing limits.
 package cluster
 
 import (
@@ -72,6 +79,14 @@ type Options struct {
 	// edit-checks per straggler (default 32; banded edit distance keeps
 	// each check cheap, and only stragglers pay it).
 	SweepCandidates int
+	// Reference selects the retained map-based implementation of the round
+	// loop and the straggler sweep instead of the allocation-free fast
+	// path. Results are bit-identical either way (pinned by the fixed-seed
+	// identity tests); the reference is slower and exists as the oracle.
+	// Configurations the fast path cannot pack (PartitionLen >
+	// maxPackedPartition, GramLen > maxRollingQ) use the reference
+	// automatically.
+	Reference bool
 	// Workers bounds the worker goroutines (default GOMAXPROCS).
 	Workers int
 	// Seed drives all randomness.
@@ -106,6 +121,14 @@ func (o Options) withDefaults(readLen int) Options {
 		o.SweepCandidates = 32
 	}
 	return o
+}
+
+// useReference reports whether this configuration must (or was asked to) run
+// on the map-based reference path. The fast path packs partition keys into a
+// uint64 and indexes grams with a 4^q head table, so keys or grams beyond
+// those limits fall back.
+func (o Options) useReference() bool {
+	return o.Reference || o.PartitionLen > maxPackedPartition || o.GramLen > maxRollingQ
 }
 
 // Stats reports the work a clustering run performed, split the way the
@@ -238,129 +261,29 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		o.EditThreshold = autoEditThreshold(reads, readLen, xrand.Derive(o.Seed, 0xc0f3))
 	}
 
-	// Per-worker scratch, reused across all rounds: one DP scratch for the
-	// edit-distance confirmations and one first-occurrence table for the
-	// signature pass. Worker w is the only goroutine touching slot w (see
+	// Per-worker edit-distance scratch, reused across all rounds and sweep
+	// passes. Worker w is the only goroutine touching slot w (see
 	// parallelForCtxW), so no locking is needed.
 	editScr := make([]edit.Scratch, o.Workers)
-	sigScr := make([]sigScratch, o.Workers)
+	useRef := o.useReference()
+	var rr *roundRunner
+	var sigScr []sigScratch
+	if useRef {
+		sigScr = make([]sigScratch, o.Workers)
+	} else {
+		rr = newRoundRunner(ctx, reads, uf, o, thetaLow, thetaHigh, editScr, &stats)
+	}
 
+	rootHint := len(reads)
 	for round := 0; round < o.Rounds; round++ {
 		if err := context.Cause(ctx); err != nil {
 			return Result{Stats: stats}, err
 		}
-		// Fresh anchor and grams every round.
-		anchor := dna.Random(rng, o.AnchorLen)
-		grams := newGramSet(xrand.Derive(o.Seed, uint64(round)+1), o.Mode, o.NumGrams, o.GramLen)
-
-		// One representative per current cluster, chosen deterministically:
-		// roots are visited in ascending order.
-		members := map[int][]int{}
-		roots := make([]int, 0, len(members))
-		for i := range reads {
-			root := uf.find(i)
-			if _, seen := members[root]; !seen {
-				roots = append(roots, root)
-			}
-			members[root] = append(members[root], i)
+		if useRef {
+			rootHint = referenceRound(ctx, reads, uf, rng, o, round, thetaLow, thetaHigh, editScr, sigScr, &stats, rootHint)
+		} else {
+			rr.runRound(rng, round)
 		}
-		sort.Ints(roots)
-		reps := make(map[int]int, len(roots)) // root -> representative read
-		for _, root := range roots {
-			ms := members[root]
-			reps[root] = ms[rng.Intn(len(ms))]
-		}
-
-		// Partition clusters by the l bases following the anchor in the
-		// representative; representatives lacking the anchor are hashed by
-		// their prefix instead so they still participate.
-		partitions := map[string][]int{} // key -> roots
-		for _, root := range roots {
-			r := reads[reps[root]]
-			var key string
-			if pos := r.Index(anchor); pos >= 0 && pos+o.AnchorLen+o.PartitionLen <= len(r) {
-				key = "a:" + r[pos+o.AnchorLen:pos+o.AnchorLen+o.PartitionLen].String()
-			} else {
-				n := o.PartitionLen
-				if n > len(r) {
-					n = len(r)
-				}
-				key = "p:" + r[:n].String()
-			}
-			partitions[key] = append(partitions[key], root)
-		}
-
-		// Signatures for all representatives, in parallel.
-		sigStart := time.Now() //dnalint:allow determinism -- Stats timing telemetry; never feeds a clustering decision
-		sigList := make([][]int32, len(roots))
-		parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
-			sigList[i] = grams.signatureScratch(reads[reps[roots[i]]], &sigScr[w])
-		})
-		sigs := make(map[int][]int32, len(roots))
-		for i, root := range roots {
-			sigs[root] = sigList[i]
-		}
-		stats.SignatureTime += time.Since(sigStart)
-
-		// Phase 1 (parallel, deterministic): each partition independently
-		// proposes merges. Edit-distance decisions do not consult the
-		// union-find, so the proposal set is a pure function of the seed.
-		partStart := time.Now() //dnalint:allow determinism -- Stats timing telemetry; never feeds a clustering decision
-		keys := make([]string, 0, len(partitions))
-		for k := range partitions {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		type proposal struct{ a, b int }
-		proposalsPer := make([][]proposal, len(keys))
-		editCalls := make([]int, len(keys))
-		cheap := make([]int, len(keys))
-		parallelForCtxW(ctx, o.Workers, len(keys), func(w, ki int) {
-			key := keys[ki]
-			group := partitions[key]
-			if len(group) < 2 {
-				return
-			}
-			prng := xrand.Derive(o.Seed, fnv1a(key)^uint64(round))
-			pairs := len(group) * (len(group) - 1) / 2
-			stride := 1
-			if pairs > o.MaxPartitionPairs {
-				stride = pairs/o.MaxPartitionPairs + 1
-			}
-			for ai := 0; ai < len(group); ai++ {
-				for bi := ai + 1; bi < len(group); bi++ {
-					if stride > 1 && prng.Intn(stride) != 0 {
-						continue
-					}
-					a, b := group[ai], group[bi]
-					d := grams.distance(sigs[a], sigs[b])
-					if d > thetaHigh {
-						continue
-					}
-					if d <= thetaLow {
-						proposalsPer[ki] = append(proposalsPer[ki], proposal{a, b})
-						cheap[ki]++
-						continue
-					}
-					editCalls[ki]++
-					if _, ok := editScr[w].Within(reads[reps[a]], reads[reps[b]], o.EditThreshold); ok {
-						proposalsPer[ki] = append(proposalsPer[ki], proposal{a, b})
-					}
-				}
-			}
-		})
-		// Phase 2 (serial): apply proposals. The final connected components
-		// are independent of application order.
-		for ki := range proposalsPer {
-			stats.EditDistanceCalls += editCalls[ki]
-			for _, p := range proposalsPer[ki] {
-				if uf.union(p.a, p.b) {
-					stats.Merges++
-				}
-			}
-			stats.CheapMerges += cheap[ki]
-		}
-		stats.ClusterTime += time.Since(partStart)
 	}
 
 	if !o.NoStragglerSweep {
@@ -370,13 +293,21 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 		// recognize mid-size fragments as stragglers and attach them too.
 		// Each pass draws fresh grams so a straggler whose signature ranked
 		// poorly under one gram set gets an independent second chance.
-		sweepScr := make([]sweepScratch, o.Workers)
+		var sweepScr []sweepScratch
+		if useRef {
+			sweepScr = make([]sweepScratch, o.Workers)
+		}
 		for pass := 0; pass < 4; pass++ {
 			if err := context.Cause(ctx); err != nil {
 				stats.ClusterTime += time.Since(sweepStart)
 				return Result{Stats: stats}, err
 			}
-			merged := stragglerSweep(ctx, reads, uf, o, uint64(pass), sweepScr, &stats)
+			var merged int
+			if useRef {
+				merged, rootHint = stragglerSweep(ctx, reads, uf, o, uint64(pass), sweepScr, &stats, rootHint)
+			} else {
+				merged = rr.runSweepPass(uint64(pass))
+			}
 			if merged == 0 {
 				break
 			}
@@ -406,176 +337,13 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 	return Result{Clusters: out, Stats: stats}, nil
 }
 
-// sweepScratch is the per-worker reusable state of the straggler sweep: the
-// edit-distance DP scratch, the signature first-occurrence table, the
-// averaged-signature accumulators and the candidate-ranking buffer. Slot w
-// is touched only by worker w (parallelForCtxW), never shared.
-//
-//dnalint:scratch
-type sweepScratch struct {
-	edit  edit.Scratch
-	sig   sigScratch
-	sum   []float32
-	count []int32
-	cands []sweepCand
-}
-
-// sweepCand is a candidate cluster for a straggler merge, ranked by distance
-// to the cluster's averaged signature.
-type sweepCand struct {
-	j int
-	d float32
-}
-
-// stragglerSweep merges small clusters into their nearest cluster when an
-// edit-distance check confirms common origin, and returns the number of
-// merges applied. Edit-distance calls are accumulated into stats. scr holds
-// one scratch per worker (len >= o.Workers), reused across passes.
-func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Options, pass uint64, scr []sweepScratch, stats *Stats) int {
-	members := map[int][]int{}
-	var roots []int
-	for i := range reads {
-		if i&0xfff == 0 && ctx.Err() != nil {
-			return 0 // no merges: the caller's fixpoint loop stops and re-checks ctx
-		}
-		root := uf.find(i)
-		if _, seen := members[root]; !seen {
-			roots = append(roots, root)
-		}
-		members[root] = append(members[root], i)
-	}
-	sort.Ints(roots)
-	// A straggler is any cluster clearly smaller than typical: at most half
-	// the median cluster size (and size-2 clusters always qualify).
-	sizes := make([]int, len(roots))
-	for i, root := range roots {
-		sizes[i] = len(members[root])
-	}
-	sorted := append([]int(nil), sizes...)
-	sort.Ints(sorted)
-	small := sorted[len(sorted)/2] * 2 / 3
-	if small < 2 {
-		small = 2
-	}
-	// The sweep ranks every cluster, so its signature needs to be far more
-	// discriminative than the per-round ones: use triple the grams (the
-	// rolling-hash signature makes the extra grams nearly free).
-	grams := newGramSet(xrand.Derive(o.Seed, 0x5feeb+pass), o.Mode, 3*o.NumGrams, o.GramLen)
-	reps := make([]int, len(roots))
-	for i, root := range roots {
-		reps[i] = members[root][0]
-	}
-	// Candidate clusters are summarized by an *averaged* signature over up
-	// to sweepSigReads members: the mean denoises individual read errors,
-	// which is what makes the nearest-candidate ranking reliable even at
-	// error rates where any single representative's signature is mangled.
-	const sweepSigReads = 6
-	meanSigs := make([][]float32, len(roots))
-	parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
-		sc := &scr[w]
-		ms := members[roots[i]]
-		n := len(ms)
-		if n > sweepSigReads {
-			n = sweepSigReads
-		}
-		// Accumulators come from the worker's scratch and must be re-zeroed
-		// (a fresh make would zero them too; this just skips the allocation).
-		if cap(sc.sum) < len(grams.grams) {
-			sc.sum = make([]float32, len(grams.grams))
-			sc.count = make([]int32, len(grams.grams))
-		}
-		sum := sc.sum[:len(grams.grams)]
-		count := sc.count[:len(grams.grams)]
-		for g := range sum {
-			sum[g] = 0
-			count[g] = 0
-		}
-		for _, m := range ms[:n] {
-			sig := grams.signatureScratch(reads[m], &sc.sig)
-			for g, v := range sig {
-				if grams.mode == WGram {
-					if v == wgramAbsent {
-						continue
-					}
-					sum[g] += float32(v)
-					count[g]++
-				} else {
-					sum[g] += float32(v)
-					count[g]++
-				}
-			}
-		}
-		mean := make([]float32, len(grams.grams))
-		for g := range mean {
-			switch {
-			case grams.mode == WGram && int(count[g])*2 <= n:
-				mean[g] = -1 // absent in most members
-			case count[g] == 0:
-				mean[g] = -1
-			default:
-				mean[g] = sum[g] / float32(count[g])
-			}
-		}
-		meanSigs[i] = mean
-	})
-
-	type merge struct{ a, b int }
-	merges := make([][]merge, len(roots))
-	editCalls := make([]int, len(roots))
-	parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
-		if sizes[i] > small {
-			return
-		}
-		sc := &scr[w]
-		sig := grams.signatureScratch(reads[reps[i]], &sc.sig)
-		// Rank the other clusters by distance to their averaged signature
-		// and edit-check the closest few.
-		cands := sc.cands[:0]
-		for j := range roots {
-			if j == i {
-				continue
-			}
-			cands = append(cands, sweepCand{j, grams.meanDistance(sig, meanSigs[j])})
-		}
-		sc.cands = cands[:0]
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].d != cands[b].d {
-				return cands[a].d < cands[b].d
-			}
-			return cands[a].j < cands[b].j
-		})
-		// With many clusters the nearest-k ranking gets noisier; scale the
-		// edit-checked candidate count with the cluster population.
-		limit := o.SweepCandidates
-		if scaled := len(roots) / 20; scaled > limit {
-			limit = scaled
-		}
-		if limit > len(cands) {
-			limit = len(cands)
-		}
-		bestJ, bestD := -1, o.EditThreshold+1
-		for _, c := range cands[:limit] {
-			editCalls[i]++
-			if d, ok := sc.edit.Within(reads[reps[i]], reads[reps[c.j]], o.EditThreshold); ok && d < bestD {
-				bestJ, bestD = c.j, d
-			}
-		}
-		if bestJ >= 0 {
-			merges[i] = append(merges[i], merge{roots[i], roots[bestJ]})
-		}
-	})
-	applied := 0
-	//dnalint:allow ctxflow -- serial apply of already-computed merges: O(clusters) pointer swaps, no blocking calls
-	for i := range merges {
-		stats.EditDistanceCalls += editCalls[i]
-		for _, m := range merges[i] {
-			if uf.union(m.a, m.b) {
-				stats.Merges++
-				applied++
-			}
-		}
-	}
-	return applied
+// runGuarded contains a panic inside one parallel-for item: the item's
+// outputs stay at their pre-set "no evidence" values, so one poisoned read
+// degrades clustering instead of crashing it. Package-level (not a closure)
+// so the serial dispatch path allocates nothing per call.
+func runGuarded(fn func(worker, i int), w, i int) {
+	defer func() { _ = recover() }()
+	fn(w, i)
 }
 
 // parallelForCtx runs fn(i) for i in [0,n) across the given number of
@@ -595,10 +363,6 @@ func parallelForCtx(ctx context.Context, workers, n int, fn func(i int)) {
 // so scratch[w] is effectively goroutine-local. Cancellation and panic
 // containment are identical to parallelForCtx.
 func parallelForCtxW(ctx context.Context, workers, n int, fn func(worker, i int)) {
-	guarded := func(w, i int) {
-		defer func() { _ = recover() }()
-		fn(w, i)
-	}
 	if workers > n {
 		workers = n
 	}
@@ -607,17 +371,26 @@ func parallelForCtxW(ctx context.Context, workers, n int, fn func(worker, i int)
 			if ctx.Err() != nil {
 				return
 			}
-			guarded(0, i)
+			runGuarded(fn, 0, i)
 		}
 		return
 	}
+	parallelForCtxWSpawn(ctx, workers, n, fn)
+}
+
+// parallelForCtxWSpawn is parallelForCtxW's multi-goroutine branch. It is a
+// separate function because its stop flag and wait group escape into the
+// worker closures and would otherwise be heap-allocated in the caller's
+// prologue, costing the serial (Workers == 1) dispatch two allocations per
+// call — the difference between an allocation-free round and not.
+func parallelForCtxWSpawn(ctx context.Context, workers, n int, fn func(worker, i int)) {
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Worker-level backstop: guarded() already contains per-item
+			// Worker-level backstop: runGuarded already contains per-item
 			// panics, but the dispatch loop itself must not be able to kill
 			// the process — the worker's remaining items stay at their zero
 			// values, which callers treat as "no evidence".
@@ -630,7 +403,7 @@ func parallelForCtxW(ctx context.Context, workers, n int, fn func(worker, i int)
 					stop.Store(true)
 					return
 				}
-				guarded(w, i)
+				runGuarded(fn, w, i)
 			}
 		}(w)
 	}

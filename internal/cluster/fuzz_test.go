@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"dnastore/internal/dna"
+	"dnastore/internal/xrand"
+)
+
+// fuzzRead maps arbitrary fuzzer bytes onto valid bases, capped so the
+// per-input work stays small enough for the fuzz loop.
+func fuzzRead(raw []byte) dna.Seq {
+	const maxLen = 300
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	s := make(dna.Seq, len(raw))
+	for i, b := range raw {
+		s[i] = dna.Base(b % dna.NumBases)
+	}
+	return s
+}
+
+// FuzzSigDistance is the differential fuzzer pinning the bit-packed
+// signature kernels to the reference signature machinery: for an arbitrary
+// gram set and read pair, the chain-indexed signatures must equal
+// signatureScratch's, the packed q-gram presence words must equal the
+// reference signature packed bit for bit, hammingPacked must equal
+// gramSet.distance, and wgramDistanceWithin must honour its contract
+// against gramSet.distance (exact inside the threshold band, anything
+// above it outside).
+func FuzzSigDistance(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGTACGT"), []byte("ACGTACCTACGTACGAACGTACGT"), uint64(1), byte(0), byte(48), byte(4), uint16(18))
+	f.Add([]byte("GATTACAGATTACAGATTACA"), []byte("TTTTTTTTTTTTTTTTTTTTT"), uint64(7), byte(1), byte(24), byte(3), uint16(40))
+	f.Add([]byte(""), []byte("ACGT"), uint64(3), byte(1), byte(8), byte(6), uint16(1000))
+	f.Add([]byte("AAAACCCCGGGGTTTT"), []byte("AAAACCCCGGGGTTTT"), uint64(9), byte(0), byte(1), byte(1), uint16(0))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, seed uint64, modeB, countB, qB byte, thetaB uint16) {
+		a, b := fuzzRead(rawA), fuzzRead(rawB)
+		mode := QGram
+		if modeB&1 == 1 {
+			mode = WGram
+		}
+		count := 1 + int(countB)%96
+		q := 1 + int(qB)%maxRollingQ
+		gs := newGramSet(xrand.Derive(seed, 1), mode, count, q)
+
+		var sc sigScratch
+		refA := append([]int32(nil), gs.signatureScratch(a, &sc)...)
+		refB := append([]int32(nil), gs.signatureScratch(b, &sc)...)
+
+		var gi gramIndex
+		gi.build(gs)
+		gotA := make([]int32, count)
+		gotB := make([]int32, count)
+		gi.signatureInto(gs, a, gotA)
+		gi.signatureInto(gs, b, gotB)
+		if !reflect.DeepEqual(gotA, refA) || !reflect.DeepEqual(gotB, refB) {
+			t.Fatalf("signatureInto diverges from signatureScratch (mode %v, count %d, q %d)", mode, count, q)
+		}
+
+		refD := gs.distance(refA, refB)
+		if mode == QGram {
+			packedA := make([]uint64, sigWords(count))
+			packedB := make([]uint64, sigWords(count))
+			gi.qsigBitsInto(gs, a, packedA)
+			gi.qsigBitsInto(gs, b, packedB)
+			wantA := make([]uint64, sigWords(count))
+			wantB := make([]uint64, sigWords(count))
+			packQSig(refA, wantA)
+			packQSig(refB, wantB)
+			if !reflect.DeepEqual(packedA, wantA) || !reflect.DeepEqual(packedB, wantB) {
+				t.Fatalf("qsigBitsInto diverges from packed reference signature")
+			}
+			if got := hammingPacked(packedA, packedB); got != refD {
+				t.Fatalf("hammingPacked = %d, gramSet.distance = %d", got, refD)
+			}
+			return
+		}
+		thetaHigh := int(thetaB)
+		got := wgramDistanceWithin(refA, refB, thetaHigh)
+		if refD <= thetaHigh {
+			if got != refD {
+				t.Fatalf("wgramDistanceWithin(th=%d) = %d inside band, reference %d", thetaHigh, got, refD)
+			}
+		} else if got <= thetaHigh {
+			t.Fatalf("wgramDistanceWithin(th=%d) = %d <= th, reference %d", thetaHigh, got, refD)
+		}
+		// Degenerate band (thetaHigh >= WGramFar): the kernel must be exact
+		// everywhere, not merely above/below the threshold.
+		if got := wgramDistanceWithin(refA, refB, WGramFar+1); got != refD {
+			t.Fatalf("wgramDistanceWithin(th>WGramFar) = %d, reference %d", got, refD)
+		}
+	})
+}

@@ -2,12 +2,50 @@ package cluster
 
 import (
 	"context"
+	"math/bits"
 	"sort"
 
 	"dnastore/internal/dna"
 	"dnastore/internal/edit"
 	"dnastore/internal/xrand"
 )
+
+// calibQ is the q-gram length of the counting filter that screens
+// edit-distance calls during calibration. Independent of Options.GramLen:
+// the filter is internal to autoEditThreshold and 4 keeps the code space at
+// 256 so a presence set is four uint64 words.
+const calibQ = 4
+
+// calibWords is the uint64 word count of a calibQ-gram presence set.
+const calibWords = (1 << (2 * calibQ)) / 64
+
+// calibPresence is the set of distinct calibQ-gram codes occurring in a
+// read, one bit per packed code.
+type calibPresence [calibWords]uint64
+
+// calibPresenceOf fills pb with the read's distinct calibQ-gram presence set
+// and returns the number of distinct grams (the set's popcount).
+func calibPresenceOf(read dna.Seq, pb *calibPresence) int {
+	for i := range pb {
+		pb[i] = 0
+	}
+	if len(read) < calibQ {
+		return 0
+	}
+	const mask = uint32(1<<(2*calibQ) - 1)
+	var code uint32
+	for i, b := range read {
+		code = (code<<2 | uint32(b&3)) & mask
+		if i >= calibQ-1 {
+			pb[code>>6] |= 1 << (code & 63)
+		}
+	}
+	n := 0
+	for _, w := range pb {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // autoEditThreshold picks the merge-confirmation edit-distance threshold
 // from the data, in the same spirit as AutoThresholds: sample probe reads,
@@ -17,6 +55,23 @@ import (
 // for short strands the two distributions sit close together, and for long
 // ones it wastes the available gap.
 func autoEditThreshold(reads []dna.Seq, readLen int, rng *xrand.RNG) int {
+	return autoEditThresholdOpt(reads, readLen, rng, true)
+}
+
+// autoEditThresholdOpt is autoEditThreshold with the q-gram counting filter
+// switchable. filtered=false is the reference: phase 2 scans every pair with
+// a banded edit-distance call. filtered=true screens pairs with the presence
+// form of the q-gram counting lemma (Ukkonen): an edit operation touches at
+// most calibQ gram positions of a, the positions touched by different
+// vanished codes are disjoint, and a distinct code of a vanishes only if all
+// its occurrences are touched — so if ed(a,b) <= k, at most k*calibQ
+// distinct codes of a are absent from b and the presence sets share at
+// least da - k*calibQ codes (da = a's distinct-gram count). The screen is
+// four AND+popcount words per pair; calibNearestScreened explains why the
+// screened search resolves the reference scan's exact value.
+// TestAutoEditThresholdFilterIdentity pins the two variants equal;
+// TestCalibFilterSoundness checks the lemma directly.
+func autoEditThresholdOpt(reads []dna.Seq, readLen int, rng *xrand.RNG, filtered bool) int {
 	bound := readLen * 3 / 5
 	if bound < 4 {
 		bound = 4
@@ -60,22 +115,26 @@ func autoEditThreshold(reads []dna.Seq, readLen int, rng *xrand.RNG) int {
 	sort.Ints(all)
 	median := all[len(all)/2] // dominated by different-strand pairs
 
-	// Phase 2: each probe's nearest neighbour over the full sample, with a
-	// shrinking banded bound — once the same-strand partner is found, the
-	// remaining comparisons only pay a narrow band.
+	// Phase 2: each probe's nearest neighbour over the full sample. The
+	// screened variant resolves the same value through the counting filter
+	// (see calibNearestScreened); probes it cannot resolve — and the
+	// reference variant always — pay the verbatim sequential scan.
+	var sampleBits []calibPresence
+	if filtered {
+		sampleBits = make([]calibPresence, nSample)
+		for j, sj := range sample {
+			calibPresenceOf(reads[sj], &sampleBits[j])
+		}
+	}
+	var pb calibPresence
 	var nearest []int
 	for _, pi := range probes {
-		nn := median // nothing above the diff median can be the same-strand mode
-		for _, sj := range sample {
-			if pi == sj {
-				continue
-			}
-			if d, ok := es.Within(reads[pi], reads[sj], nn-1); ok {
-				nn = d
-			}
-			if nn <= 2 {
-				break
-			}
+		nn, done := 0, false
+		if filtered && median > 2 {
+			nn, done = calibNearestScreened(reads, pi, sample, sampleBits, median, &pb, &es)
+		}
+		if !done {
+			nn = calibNearestScan(reads, pi, sample, median, &es)
 		}
 		nearest = append(nearest, nn)
 	}
@@ -90,6 +149,90 @@ func autoEditThreshold(reads []dna.Seq, readLen int, rng *xrand.RNG) int {
 		return maxInt(4, median/2)
 	}
 	return maxInt(4, (nnLow+median)/2)
+}
+
+// calibScreenBand is the edit band the screened nearest-neighbour search
+// checks candidates against. It must comfortably cover the same-strand mode
+// (a few percent of the read length) while keeping the presence floor
+// da - band*calibQ high enough that different-strand pairs screen out.
+const calibScreenBand = 12
+
+// calibNearestScan is the reference phase-2 inner loop, verbatim: scan the
+// sample in order with a shrinking banded bound, stopping once nn <= 2.
+func calibNearestScan(reads []dna.Seq, pi int, sample []int, median int, es *edit.Scratch) int {
+	nn := median // nothing above the diff median can be the same-strand mode
+	for _, sj := range sample {
+		if pi == sj {
+			continue
+		}
+		if d, ok := es.Within(reads[pi], reads[sj], nn-1); ok {
+			nn = d
+		}
+		if nn <= 2 {
+			break
+		}
+	}
+	return nn
+}
+
+// calibNearestScreened resolves a probe's phase-2 nearest-neighbour value
+// without the sequential scan, returning done=false when it cannot.
+//
+// calibNearestScan's result is almost order-free: nn only ever drops to the
+// distance of a closer pair, so the final value is min(median, min_j ed) —
+// except that the scan breaks at the first pair reaching nn <= 2, which
+// makes that pair's distance the answer. Both shapes survive screening with
+// the counting lemma at a fixed band ks: every screened-out pair has proven
+// ed > ks >= 3, so (a) the first in-order pair with ed <= 2 is necessarily a
+// candidate and is caught in order, and (b) if some candidate has ed <= ks,
+// the global minimum is the candidate minimum. Only a probe whose true
+// nearest neighbour lies beyond ks (no same-strand partner in the sample,
+// or an unusually damaged one) is unresolvable, and falls back to the
+// verbatim scan — paying exactly the reference cost for that probe.
+//
+// Requires median > 2 (the caller guards): with median <= 2 the reference
+// scan breaks after its first pair regardless of distance.
+func calibNearestScreened(reads []dna.Seq, pi int, sample []int, sampleBits []calibPresence, median int, pb *calibPresence, es *edit.Scratch) (int, bool) {
+	da := calibPresenceOf(reads[pi], pb)
+	ks := calibScreenBand
+	if m := (da - 1) / calibQ; m < ks {
+		ks = m // keep the floor positive: the lemma needs ks*calibQ < da
+	}
+	if ks < 3 {
+		return 0, false // degenerate probe (tiny or repeat-saturated read)
+	}
+	floor := da - ks*calibQ
+	candMin := 1 << 30
+	for j, sj := range sample {
+		if pi == sj {
+			continue
+		}
+		sb := &sampleBits[j]
+		inter := 0
+		for w := range pb {
+			inter += bits.OnesCount64(pb[w] & sb[w])
+		}
+		if inter < floor {
+			continue // proven ed > ks
+		}
+		if d, ok := es.Within(reads[pi], reads[sj], ks); ok {
+			if d <= 2 {
+				// The first in-order pair reaching ed <= 2: the reference
+				// scan updates nn to d here and breaks.
+				return d, true
+			}
+			if d < candMin {
+				candMin = d
+			}
+		}
+	}
+	if candMin > ks {
+		return 0, false // nearest neighbour beyond the screen band
+	}
+	if median < candMin {
+		return median, true
+	}
+	return candMin, true
 }
 
 func maxInt(a, b int) int {
@@ -145,42 +288,21 @@ func autoThresholds(ctx context.Context, reads []dna.Seq, grams gramSet, rng *xr
 	probes := perm[:nProbe]
 	sample := perm[len(perm)-nSample:]
 
-	// Signature pass: every signature is independent, so probes and sample
-	// share one indexed loop; results land at their own index.
-	scs := make([]sigScratch, workers)
-	probeSigs := make([][]int32, nProbe)
-	sampleSigs := make([][]int32, nSample)
-	parallelForCtxW(ctx, workers, nProbe+nSample, func(w, i int) {
-		if i < nProbe {
-			probeSigs[i] = grams.signatureScratch(reads[probes[i]], &scs[w])
-		} else {
-			sampleSigs[i-nProbe] = grams.signatureScratch(reads[sample[i-nProbe]], &scs[w])
-		}
-	})
-
-	// Distance pass: one row per probe. Rows are pre-filled with the "no
-	// evidence" sentinel so a panic-contained or cancelled row item reads as
-	// skipped rather than as a spurious distance-0 pair; nil signatures
-	// (same origin) are skipped for the same reason — their 1<<30 sentinel
-	// would otherwise size the histogram.
+	// Rows are pre-filled with the "no evidence" sentinel so a
+	// panic-contained or cancelled row item reads as skipped rather than as
+	// a spurious distance-0 pair. The fast row pass requires the rolling
+	// gram scan (q <= maxRollingQ), mirroring the clustering fast path's
+	// gate; TestAutoThresholdRowsFastMatchesReference pins the two passes
+	// bit-identical.
 	rows := make([]int, nProbe*nSample)
 	for i := range rows {
 		rows[i] = -1
 	}
-	parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
-		row := rows[i*nSample : (i+1)*nSample]
-		pi := probes[i]
-		psig := probeSigs[i]
-		if psig == nil {
-			return
-		}
-		for j, sj := range sample {
-			if pi == sj || sampleSigs[j] == nil {
-				continue
-			}
-			row[j] = grams.distance(psig, sampleSigs[j])
-		}
-	})
+	if grams.q <= maxRollingQ {
+		autoThresholdRowsFast(ctx, reads, grams, probes, sample, rows, workers)
+	} else {
+		autoThresholdRowsRef(ctx, reads, grams, probes, sample, rows, workers)
+	}
 
 	// Serial merge in probe order: identical dists/maxD/nearest to the
 	// serial pass regardless of how the rows were scheduled.
@@ -248,6 +370,111 @@ func autoThresholds(ctx context.Context, reads []dna.Seq, grams gramSet, rng *xr
 		thetaHigh = thetaLow + 1
 	}
 	return thetaLow, thetaHigh, hist
+}
+
+// autoThresholdRowsRef fills the probe-by-sample distance matrix with the
+// reference signature machinery. Nil signatures (a panic-contained item)
+// leave their entries at the -1 sentinel — their 1<<30 distance would
+// otherwise size the histogram.
+func autoThresholdRowsRef(ctx context.Context, reads []dna.Seq, grams gramSet, probes, sample []int, rows []int, workers int) {
+	nProbe, nSample := len(probes), len(sample)
+	scs := make([]sigScratch, workers)
+	probeSigs := make([][]int32, nProbe)
+	sampleSigs := make([][]int32, nSample)
+	parallelForCtxW(ctx, workers, nProbe+nSample, func(w, i int) {
+		if i < nProbe {
+			probeSigs[i] = grams.signatureScratch(reads[probes[i]], &scs[w])
+		} else {
+			sampleSigs[i-nProbe] = grams.signatureScratch(reads[sample[i-nProbe]], &scs[w])
+		}
+	})
+	parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
+		row := rows[i*nSample : (i+1)*nSample]
+		pi := probes[i]
+		psig := probeSigs[i]
+		if psig == nil {
+			return
+		}
+		for j, sj := range sample {
+			if pi == sj || sampleSigs[j] == nil {
+				continue
+			}
+			row[j] = grams.distance(psig, sampleSigs[j])
+		}
+	})
+}
+
+// autoThresholdRowsFast is autoThresholdRowsRef on the fast-path signature
+// kernels: one shared chain index, flat signature backing, and — in QGram
+// mode — bit-packed presence rows scored with hammingPacked, which is
+// exactly gramSet.distance on 0/1 signatures. WGram rows use signatureInto
+// (bit-identical to signatureScratch) and the reference distance, since the
+// histogram needs the exact values, not a thresholded band. The ok flags
+// replace the reference's nil-signature sentinel: set last in the signature
+// item, so a panic-contained signature leaves its pairs at -1.
+func autoThresholdRowsFast(ctx context.Context, reads []dna.Seq, grams gramSet, probes, sample []int, rows []int, workers int) {
+	nProbe, nSample := len(probes), len(sample)
+	var gi gramIndex
+	gi.build(grams)
+	probeOK := make([]bool, nProbe)
+	sampleOK := make([]bool, nSample)
+	if grams.mode == QGram {
+		qw := sigWords(len(grams.grams))
+		probeBits := make([]uint64, nProbe*qw)
+		sampleBits := make([]uint64, nSample*qw)
+		parallelForCtxW(ctx, workers, nProbe+nSample, func(_, i int) {
+			if i < nProbe {
+				gi.qsigBitsInto(grams, reads[probes[i]], probeBits[i*qw:(i+1)*qw])
+				probeOK[i] = true
+			} else {
+				j := i - nProbe
+				gi.qsigBitsInto(grams, reads[sample[j]], sampleBits[j*qw:(j+1)*qw])
+				sampleOK[j] = true
+			}
+		})
+		parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
+			if !probeOK[i] {
+				return
+			}
+			row := rows[i*nSample : (i+1)*nSample]
+			pi := probes[i]
+			pbits := probeBits[i*qw : (i+1)*qw]
+			for j, sj := range sample {
+				if pi == sj || !sampleOK[j] {
+					continue
+				}
+				row[j] = hammingPacked(pbits, sampleBits[j*qw:(j+1)*qw])
+			}
+		})
+		return
+	}
+	g := len(grams.grams)
+	probeSigs := make([]int32, nProbe*g)
+	sampleSigs := make([]int32, nSample*g)
+	parallelForCtxW(ctx, workers, nProbe+nSample, func(_, i int) {
+		if i < nProbe {
+			gi.signatureInto(grams, reads[probes[i]], probeSigs[i*g:(i+1)*g])
+			probeOK[i] = true
+		} else {
+			j := i - nProbe
+			gi.signatureInto(grams, reads[sample[j]], sampleSigs[j*g:(j+1)*g])
+			sampleOK[j] = true
+		}
+	})
+	parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
+		if !probeOK[i] {
+			return
+		}
+		row := rows[i*nSample : (i+1)*nSample]
+		pi := probes[i]
+		psig := probeSigs[i*g : (i+1)*g]
+		for j, sj := range sample {
+			if pi == sj || !sampleOK[j] {
+				continue
+			}
+			row[j] = grams.distance(psig, sampleSigs[j*g:(j+1)*g])
+		}
+	})
 }
 
 // AutoEditThresholdForTest exposes autoEditThreshold for diagnostics and

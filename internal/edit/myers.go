@@ -6,11 +6,14 @@
 // DNA alphabet the only per-pattern state is a tiny Peq table: one bitmask
 // per base marking the pattern positions holding that base.
 //
-// Two kernels share the recurrence. For patterns of at most 64 bases the
-// whole column fits in one word (myers64); longer patterns are split into
-// ⌈m/64⌉ block words with the ±1 horizontal delta carried from block to
-// block Hyyrö-style (myersBlocked), the block vectors living in the Scratch
-// so steady-state calls allocate nothing. Both kernels track the running
+// Three kernels share the recurrence. For patterns of at most 64 bases the
+// whole column fits in one word (myers64); patterns of 65–128 bases get a
+// fully unrolled two-word specialization whose Peq table and block vectors
+// live in registers and on the stack (myers128 — the common case for
+// sequencing-length reads); anything longer is split into ⌈m/64⌉ block
+// words with the ±1 horizontal delta carried from block to block
+// Hyyrö-style (myersBlocked), the block vectors living in the Scratch so
+// steady-state calls allocate nothing. All kernels track the running
 // bottom-row score D(m,j); the thresholded form bails as soon as
 // score − (columns remaining) exceeds k, which is sound because the bottom
 // row of the DP changes by at most ±1 per column.
@@ -71,6 +74,10 @@ func (s *Scratch) LevenshteinBP(a, b dna.Seq) int {
 		d, _ := myers64(p, t, -1)
 		return d
 	}
+	if len(p) <= 2*wordBits {
+		d, _ := myers128(p, t, -1)
+		return d
+	}
 	d, _ := s.myersBlocked(p, t, -1)
 	return d
 }
@@ -115,6 +122,9 @@ func (s *Scratch) WithinBP(a, b dna.Seq, k int) (int, bool) {
 	if len(p) <= wordBits {
 		return myers64(p, t, k)
 	}
+	if len(p) <= 2*wordBits {
+		return myers128(p, t, k)
+	}
 	return s.myersBlocked(p, t, k)
 }
 
@@ -151,6 +161,66 @@ func myers64(pattern, text dna.Seq, k int) (int, bool) {
 		vn = d0 & hp
 		// The bottom row changes by at most ±1 per column, so the final
 		// distance is at least score − (columns remaining).
+		if k >= 0 && score-(n-j-1) > k {
+			return 0, false
+		}
+	}
+	if k >= 0 && score > k {
+		return 0, false
+	}
+	return score, true
+}
+
+// myers128 is the two-word specialization of the blocked recurrence for
+// patterns of 65–128 bases — the band sequencing-length reads live in. It is
+// myersBlocked with blocks fixed at two and the loop unrolled: the Peq table
+// is two stack arrays, the VP/VN block vectors are four register variables,
+// and the inter-block ±1 horizontal carry collapses to two bit pulls (HP and
+// HN are disjoint, so at most one of the carries is set — exactly the
+// hin ∈ {−1, 0, +1} of the general kernel). Threshold semantics and results
+// are identical to myersBlocked; no Scratch, no allocation.
+//
+//dnalint:hotpath
+func myers128(pattern, text dna.Seq, k int) (int, bool) {
+	var peqLo, peqHi [dna.NumBases]uint64
+	for i, c := range pattern {
+		if i < wordBits {
+			peqLo[c&3] |= 1 << uint(i)
+		} else {
+			peqHi[c&3] |= 1 << uint(i-wordBits)
+		}
+	}
+	m := len(pattern)
+	score := m
+	top := uint(m - 1 - wordBits) // last-row bit within the high word
+	vp0, vp1 := ^uint64(0), ^uint64(0)
+	vn0, vn1 := uint64(0), uint64(0)
+	n := len(text)
+	for j := 0; j < n; j++ {
+		c := text[j] & 3
+		// Low word: the top boundary D(0,j) − D(0,j−1) = +1 is constant.
+		eq := peqLo[c]
+		d0 := (((eq & vp0) + vp0) ^ vp0) | eq | vn0
+		hp := vn0 | ^(d0 | vp0)
+		hn := d0 & vp0
+		carryPos := hp >> 63
+		carryNeg := hn >> 63
+		hp = hp<<1 | 1
+		hn = hn << 1
+		vp0 = hn | ^(d0 | hp)
+		vn0 = d0 & hp
+		// High word: carry the boundary delta in, Hyyrö-style. A −1 carried
+		// in lets the first cell take the diagonal, like a matching base.
+		eq = peqHi[c] | carryNeg
+		d0 = (((eq & vp1) + vp1) ^ vp1) | eq | vn1
+		hp = vn1 | ^(d0 | vp1)
+		hn = d0 & vp1
+		score += int((hp >> top) & 1)
+		score -= int((hn >> top) & 1)
+		hp = hp<<1 | carryPos
+		hn = hn<<1 | carryNeg
+		vp1 = hn | ^(d0 | hp)
+		vn1 = d0 & hp
 		if k >= 0 && score-(n-j-1) > k {
 			return 0, false
 		}

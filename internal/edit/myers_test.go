@@ -89,6 +89,39 @@ func TestBitParallelMatchesDP(t *testing.T) {
 	}
 }
 
+// TestMyers128MatchesBlocked pins the unrolled two-word kernel directly
+// against the general blocked kernel (the dispatcher no longer routes 65–128
+// base patterns there, so TestBitParallelMatchesDP alone would stop covering
+// the pair head-to-head) across the full boundary band and threshold range.
+func TestMyers128MatchesBlocked(t *testing.T) {
+	var s Scratch
+	rng := xrand.New(34)
+	for trial := 0; trial < 300; trial++ {
+		m := wordBits + 1 + rng.Intn(wordBits) // 65..128
+		a := dna.Random(rng, m)
+		b := dna.Random(rng, rng.Intn(300))
+		if trial%2 == 0 {
+			b = a.Clone()
+			for e := 0; e < 1+rng.Intn(10); e++ {
+				b[rng.Intn(len(b))] = dna.Base(rng.Intn(4))
+			}
+		}
+		want, _ := s.myersBlocked(a, b, -1)
+		for _, k := range []int{-1, 0, 2, want - 1, want, want + 1, 1 << 20} {
+			bd, bok := s.myersBlocked(a, b, k)
+			ud, uok := myers128(a, b, k)
+			if bd != ud || bok != uok {
+				t.Fatalf("myers128(m=%d,n=%d,k=%d) = (%d,%v), blocked (%d,%v)",
+					m, len(b), k, ud, uok, bd, bok)
+			}
+		}
+	}
+	ax, bx := dna.Random(rng, 100), dna.Random(rng, 110)
+	if n := testing.AllocsPerRun(100, func() { myers128(ax, bx, 30) }); n > 0 {
+		t.Errorf("myers128 allocates %.1f/op", n)
+	}
+}
+
 // TestWithinBPNegativeK pins the prefilter parity with WithinDP.
 func TestWithinBPNegativeK(t *testing.T) {
 	if _, ok := WithinBP(seq("ACGT"), seq("ACGT"), -1); ok {

@@ -29,6 +29,15 @@ func splitmix64(x *uint64) uint64 {
 // Distinct seeds yield statistically independent streams.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r in place to the state New(seed) would start from,
+// without allocating. Hot loops that would otherwise construct a fresh
+// generator per item can hold one RNG and reseed it; the resulting stream
+// is bit-identical to New's.
+func (r *RNG) Reseed(seed uint64) {
 	for i := range r.s {
 		r.s[i] = splitmix64(&seed)
 	}
@@ -36,17 +45,24 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Derive returns a new RNG whose stream is a deterministic function of the
 // parent seed and the given stream identifier. It is used to hand independent
 // generators to parallel workers without sharing state.
 func Derive(seed, stream uint64) *RNG {
+	r := &RNG{}
+	r.ReseedDerive(seed, stream)
+	return r
+}
+
+// ReseedDerive resets r in place to the state Derive(seed, stream) would
+// start from, without allocating; the stream is bit-identical to Derive's.
+func (r *RNG) ReseedDerive(seed, stream uint64) {
 	mixed := seed
 	_ = splitmix64(&mixed)
 	mixed ^= 0xd1342543de82ef95 * (stream + 1)
-	return New(mixed)
+	r.Reseed(mixed)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -271,3 +271,32 @@ func TestNormFloat64Moments(t *testing.T) {
 		t.Fatalf("normal variance = %v", variance)
 	}
 }
+
+// TestReseedMatchesNew pins the in-place reseeding methods to their
+// allocating counterparts: an RNG reseeded with Reseed/ReseedDerive must
+// produce exactly the stream a fresh New/Derive would, regardless of how
+// much the instance was consumed beforehand. The clustering fast path
+// depends on this to redraw per-round gram sets without allocating.
+func TestReseedMatchesNew(t *testing.T) {
+	var r RNG
+	for _, seed := range []uint64{0, 1, 42, 1 << 63} {
+		// Desync the reusable instance first.
+		for i := 0; i < 17; i++ {
+			r.Uint64()
+		}
+		r.Reseed(seed)
+		fresh := New(seed)
+		for i := 0; i < 100; i++ {
+			if got, want := r.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("Reseed(%d) stream diverges at draw %d: %d != %d", seed, i, got, want)
+			}
+		}
+		r.ReseedDerive(seed, 0xbeef)
+		derived := Derive(seed, 0xbeef)
+		for i := 0; i < 100; i++ {
+			if got, want := r.Uint64(), derived.Uint64(); got != want {
+				t.Fatalf("ReseedDerive(%d) stream diverges at draw %d: %d != %d", seed, i, got, want)
+			}
+		}
+	}
+}
