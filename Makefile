@@ -23,12 +23,14 @@ test-short:
 
 # The race detector pass CI runs: the fault-tolerant runtime's worker pools,
 # cancellation flags and chaos injection are all concurrency-heavy. The
-# streaming pipeline (internal/core) and archive lease/checkpoint runtime
-# (internal/archive) drop -short so their pump and lease paths run fully
-# under the detector; everything else keeps the fast -short pass.
+# streaming pipeline (internal/core), archive lease/checkpoint runtime
+# (internal/archive), shared execution layer (internal/exec) and
+# observability spine (internal/obs) drop -short so their pump, lease,
+# dispatch and counter paths run fully under the detector; everything else
+# keeps the fast -short pass.
 race:
-	$(GO) test -race -short $$($(GO) list ./... | grep -v -e '/internal/archive$$' -e '/internal/core$$')
-	$(GO) test -race ./internal/archive ./internal/core
+	$(GO) test -race -short $$($(GO) list ./... | grep -v -e '/internal/archive$$' -e '/internal/core$$' -e '/internal/exec$$' -e '/internal/obs$$')
+	$(GO) test -race ./internal/archive ./internal/core ./internal/exec ./internal/obs
 
 # The repository's own invariant analyzer (cmd/dnalint): determinism,
 # context flow, panic boundaries, error flow, seed flow, goroutine

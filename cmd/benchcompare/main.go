@@ -29,6 +29,11 @@
 // while the remaining rows stay informational; the "recon" prefix matches
 // both the recon/<algo> family and the reconstruct-* pipeline stage rows.
 //
+// Before any row comparison the candidate file is checked for internal
+// consistency: its harness rows must agree with the obs metrics snapshots
+// captured during the same run (metrics_stages, see bench.VerifyMetrics).
+// A file that fails the check is rejected regardless of -enforce.
+//
 // When the two files' configs differ — e.g. a full-scale committed baseline
 // against a CI quick run — the numbers are not comparable, so the diff is
 // printed as a warning and the exit code stays 0.
@@ -76,6 +81,17 @@ func run() int {
 	if !comparable {
 		fmt.Printf("benchcompare: configs differ (old %+v, new %+v) — rates not comparable, reporting only\n",
 			oldRes.Config, newRes.Config)
+	}
+
+	// Internal consistency gate, independent of the baseline: a file whose
+	// harness rows disagree with its own obs snapshots was produced by
+	// divergent measurement paths and cannot be trusted as a baseline.
+	// Files predating the metrics_stages field skip the check.
+	if len(newRes.MetricsStages) > 0 {
+		if err := bench.VerifyMetrics(newRes); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %s: %v\n", *newPath, err)
+			return 1
+		}
 	}
 
 	var failed []string

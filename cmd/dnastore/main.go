@@ -16,6 +16,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"dnastore/internal/core"
 	"dnastore/internal/dna"
 	"dnastore/internal/fastq"
+	"dnastore/internal/obs"
 	"dnastore/internal/primer"
 	"dnastore/internal/recon"
 	"dnastore/internal/sim"
@@ -431,10 +433,11 @@ func cmdDecode(args []string) error {
 	return nil
 }
 
-func cmdPipeline(args []string) error {
+func cmdPipeline(args []string) (err error) {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 	in := fs.String("in", "", "input file")
 	out := fs.String("out", "", "output file (recovered copy)")
+	metricsJSON := fs.String("metrics-json", "", `write per-stage observability counters as JSON to this file after the run ("-" for stdout)`)
 	p := codecFlags(fs)
 	channel := fs.String("channel", "iid", "noise model: iid, solqc, wetlab")
 	rate := fs.Float64("rate", 0.06, "aggregate per-base error rate")
@@ -474,6 +477,17 @@ func cmdPipeline(args []string) error {
 	pipe := core.New(c,
 		sim.Options{Channel: ch, Coverage: sim.FixedCoverage(*coverage), Seed: *seed},
 		clusterOpts, algo)
+	if *metricsJSON != "" {
+		// A run publishes its per-stage counters into the pipeline's sink
+		// registry; snapshot it whichever way the run ends, so a failed run
+		// still leaves its telemetry behind.
+		pipe.Metrics = obs.NewRegistry()
+		defer func() {
+			if werr := writeMetricsJSON(*metricsJSON, pipe.Metrics); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
 	runOpts := core.RunOptions{
 		StageTimeout: *timeout,
 		Retries:      *retries,
@@ -525,6 +539,21 @@ func cmdPipeline(args []string) error {
 		t.Encode, t.Simulate, t.Cluster, t.Reconstruct, t.Decode, t.Total(), t.Wall)
 	fmt.Printf("decode report: %s\n", res.Report)
 	return nil
+}
+
+// writeMetricsJSON dumps the registry's stage snapshots as indented JSON to
+// path, or to stdout when path is "-".
+func writeMetricsJSON(path string, reg *obs.Registry) error {
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // runStreamPipeline pushes the input file through Pipeline.RunStream: the

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"dnastore/internal/codec"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 )
 
 func TestSeqLinesRoundTrip(t *testing.T) {
@@ -178,6 +180,100 @@ func TestCmdPipelineFile(t *testing.T) {
 	}
 	if string(got) != string(payload) {
 		t.Fatal("CLI pipeline round trip mismatch")
+	}
+}
+
+// loadMetricsJSON reads a -metrics-json snapshot back and indexes it by
+// stage name.
+func loadMetricsJSON(t *testing.T, path string) map[string]obs.StageSnapshot {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []obs.StageSnapshot
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		t.Fatalf("metrics file is not a snapshot list: %v", err)
+	}
+	byStage := make(map[string]obs.StageSnapshot, len(snaps))
+	for _, s := range snaps {
+		byStage[s.Stage] = s
+	}
+	return byStage
+}
+
+func TestCmdPipelineMetricsJSON(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	metrics := filepath.Join(dir, "metrics.json")
+	payload := []byte("observability spine surfaces through the CLI")
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdPipeline([]string{
+		"-in", in, "-out", out,
+		"-n", "24", "-k", "16", "-payload", "10",
+		"-rate", "0.04", "-coverage", "8", "-algo", "nw",
+		"-metrics-json", metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStage := loadMetricsJSON(t, metrics)
+	for _, stage := range []string{"encode", "simulate", "cluster", "reconstruct", "decode"} {
+		s, ok := byStage[stage]
+		if !ok {
+			t.Fatalf("stage %q missing from metrics snapshot (have %v)", stage, byStage)
+		}
+		if s.Calls < 1 {
+			t.Errorf("stage %q has %d calls, want >= 1", stage, s.Calls)
+		}
+		if s.BusyNanos < 0 {
+			t.Errorf("stage %q has negative busy time", stage)
+		}
+	}
+	if enc := byStage["encode"]; enc.ItemsIn != int64(len(payload)) {
+		t.Errorf("encode items_in = %d, want %d", enc.ItemsIn, len(payload))
+	}
+	if dec := byStage["decode"]; dec.ItemsOut != int64(len(payload)) {
+		t.Errorf("decode items_out = %d, want %d", dec.ItemsOut, len(payload))
+	}
+}
+
+func TestCmdPipelineStreamMetricsJSON(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	metrics := filepath.Join(dir, "metrics.json")
+	payload := bytes.Repeat([]byte("streaming metrics through the CLI entry point! "), 40)
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdPipeline([]string{
+		"-in", in, "-out", out,
+		"-n", "24", "-k", "16", "-payload", "10",
+		"-rate", "0.02", "-coverage", "8", "-algo", "dbma",
+		"-stream", "-volume-bytes", "600", "-inflight", "4",
+		"-metrics-json", metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStage := loadMetricsJSON(t, metrics)
+	// The streaming run additionally exposes the demux stage the batch path
+	// does not have; every volume's decode publishes into the same sink.
+	for _, stage := range []string{"encode", "simulate", "demux", "cluster", "reconstruct", "decode"} {
+		s, ok := byStage[stage]
+		if !ok {
+			t.Fatalf("stage %q missing from stream metrics snapshot", stage)
+		}
+		if s.Calls < 1 {
+			t.Errorf("stage %q has %d calls, want >= 1", stage, s.Calls)
+		}
+	}
+	if clu := byStage["cluster"]; clu.Calls < 2 {
+		t.Errorf("cluster ran %d times, want one call per volume (>= 2)", clu.Calls)
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"dnastore/internal/core"
 	"dnastore/internal/dna"
 	"dnastore/internal/fastq"
+	"dnastore/internal/obs"
 	"dnastore/internal/pool"
 	"dnastore/internal/primer"
 	"dnastore/internal/recon"
@@ -342,6 +343,45 @@ var (
 	ErrVolumeChecksum = codec.ErrVolumeChecksum
 )
 
+// Observability spine (internal/obs): per-stage atomic counters and stage
+// lifecycle hooks shared by every pipeline entry point. Hand a Pipeline a
+// MetricsRegistry (Pipeline.Metrics) and every Run / RunStream / archive
+// worker publishes its per-stage counters into it; Snapshot() at any moment
+// for a consistent JSON-ready view (the CLI's -metrics-json).
+type (
+	// MetricsRegistry collects named per-stage counters; safe for
+	// concurrent use and long-lived accumulation across runs.
+	MetricsRegistry = obs.Registry
+	// MetricsStage is one stage's live counter set.
+	MetricsStage = obs.Stage
+	// MetricsSnapshot is a point-in-time copy of one stage's counters,
+	// stable for JSON emission.
+	MetricsSnapshot = obs.StageSnapshot
+	// MetricsEvent is delivered to hooks at stage boundaries.
+	MetricsEvent = obs.Event
+	// MetricsEventKind distinguishes stage-begin from stage-end events.
+	MetricsEventKind = obs.EventKind
+	// MetricsHook observes stage events; chaos injection rides these.
+	MetricsHook = obs.Hook
+)
+
+// Stage lifecycle event kinds.
+const (
+	// MetricsStageBegin fires before a stage's work function runs.
+	MetricsStageBegin = obs.StageBegin
+	// MetricsStageEnd fires after a stage's work function returns.
+	MetricsStageEnd = obs.StageEnd
+)
+
+// Observability functions re-exported from the obs and core packages.
+var (
+	// NewMetricsRegistry creates an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// StageTimesOf derives the Table III latency view from a registry
+	// snapshot — the same counters, folded into StageTimes.
+	StageTimesOf = core.StageTimesOf
+)
+
 // Fault injection for resilience testing (internal/chaos).
 type (
 	// ChaosFaults configures deterministic fault injection.
@@ -367,6 +407,12 @@ type (
 	// random byte offset, simulating crash-torn commit records.
 	ChaosTornCheckpoints = chaos.TornCheckpoints
 )
+
+// ChaosPanicHook returns a MetricsHook that panics on every everyN'th entry
+// into the named stage — fault injection riding the observability spine, so
+// it reaches stages that have no chaos wrapper (encode, decode, demux). The
+// runtime contains it as ErrStagePanic carrying the stage name.
+var ChaosPanicHook = chaos.PanicHook
 
 // NewPipeline assembles a pipeline with default module adapters.
 func NewPipeline(c *Codec, simOpts SimOptions, clusterOpts ClusterOptions, algo Reconstruction) *Pipeline {

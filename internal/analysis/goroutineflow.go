@@ -14,13 +14,18 @@ import (
 //
 //   - join via sync.WaitGroup: the body calls a WaitGroup method (the
 //     Add/Done/Wait protocol), or
+//   - join via the executor layer: the body calls a method of exec.Group
+//     (the panic-capturing WaitGroup wrapper) or exec.Tickets (the bounded
+//     in-flight bank — a Release is a completion the spawn site's Acquire
+//     observes), or
 //   - join via done-channel: the body closes or sends on a channel declared
 //     outside the goroutine (the spawn site can receive the completion), or
 //   - cancellation: the body references a context.Context value (polls
 //     ctx.Err()/ctx.Done() or passes ctx into the calls that do).
 //
 // A goroutine spawned as `go f(args)` with a named function must carry the
-// signal through its arguments: a context, a channel, or a *sync.WaitGroup.
+// signal through its arguments: a context, a channel, a *sync.WaitGroup, an
+// *exec.Group, or an *exec.Tickets.
 var GoroutineFlow = &Analyzer{
 	Name: "goroutineflow",
 	Doc:  "every go statement must be joined (WaitGroup/done-channel) or carry a pollable context",
@@ -61,7 +66,7 @@ func goroutineJoined(pass *Pass, lit *ast.FuncLit) bool {
 		}
 		switch x := n.(type) {
 		case *ast.CallExpr:
-			if isWaitGroupCall(pass.Info, x) {
+			if isJoinCall(pass.Info, x) {
 				found = true
 				return false
 			}
@@ -87,8 +92,9 @@ func goroutineJoined(pass *Pass, lit *ast.FuncLit) bool {
 	return found
 }
 
-// isWaitGroupCall reports whether call invokes a method of sync.WaitGroup.
-func isWaitGroupCall(info *types.Info, call *ast.CallExpr) bool {
+// isJoinCall reports whether call invokes a method of a join-carrying type:
+// sync.WaitGroup, or the executor layer's exec.Group / exec.Tickets.
+func isJoinCall(info *types.Info, call *ast.CallExpr) bool {
 	fn := calleeFunc(info, call)
 	if fn == nil {
 		return false
@@ -97,7 +103,12 @@ func isWaitGroupCall(info *types.Info, call *ast.CallExpr) bool {
 	if !ok || sig.Recv() == nil {
 		return false
 	}
-	t := sig.Recv().Type()
+	return isJoinNamed(sig.Recv().Type())
+}
+
+// isJoinNamed reports whether t (behind one pointer level) is one of the
+// join-carrying named types.
+func isJoinNamed(t types.Type) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -106,7 +117,16 @@ func isWaitGroupCall(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		return obj.Name() == "WaitGroup"
+	case "dnastore/internal/exec":
+		return obj.Name() == "Group" || obj.Name() == "Tickets"
+	}
+	return false
 }
 
 // rootsOutside reports whether expr's leftmost identifier resolves to an
@@ -125,8 +145,9 @@ func rootsOutside(info *types.Info, expr ast.Expr, lit *ast.FuncLit) bool {
 }
 
 // spawnArgsCarrySignal reports whether a named-function goroutine's
-// arguments (or method receiver) include a context, a channel, or a
-// *sync.WaitGroup — the ways a named body can be joined or cancelled.
+// arguments (or method receiver) include a context, a channel, a
+// *sync.WaitGroup, an *exec.Group, or an *exec.Tickets — the ways a named
+// body can be joined or cancelled.
 func spawnArgsCarrySignal(pass *Pass, call *ast.CallExpr) bool {
 	exprs := append([]ast.Expr{}, call.Args...)
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
@@ -144,8 +165,8 @@ func spawnArgsCarrySignal(pass *Pass, call *ast.CallExpr) bool {
 	return false
 }
 
-// typeCarriesSignal reports whether t is a context, channel, or WaitGroup
-// (possibly behind a pointer).
+// typeCarriesSignal reports whether t is a context, a channel, or one of the
+// join-carrying named types (possibly behind a pointer).
 func typeCarriesSignal(t types.Type) bool {
 	if isContextType(t) {
 		return true
@@ -156,11 +177,5 @@ func typeCarriesSignal(t types.Type) bool {
 	if _, ok := t.Underlying().(*types.Chan); ok {
 		return true
 	}
-	if named, ok := t.(*types.Named); ok {
-		obj := named.Obj()
-		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
-			return true
-		}
-	}
-	return false
+	return isJoinNamed(t)
 }

@@ -12,7 +12,10 @@ import (
 //
 //   - append and make calls (grow into preallocated Scratch instead);
 //   - new calls and slice/map composite literals;
-//   - string <-> byte/rune-slice conversions, which copy.
+//   - string <-> byte/rune-slice conversions, which copy;
+//   - `go` statements — every spawn allocates a goroutine; hot code that
+//     needs fan-out dispatches through exec.ParallelForW, whose serial
+//     path (workers <= 1) is allocation-free.
 //
 // Allocation belongs in the untagged setup helpers (Scratch.rows,
 // peqBlocks, ...) that amortize it across calls. Function literals nested
@@ -73,6 +76,8 @@ func checkHotBody(pass *Pass, name string, body *ast.BlockStmt) {
 					pass.Reportf(x.Pos(), "hot-path function %s builds a map literal, which allocates: reuse a Scratch-owned table or add a reasoned //dnalint:allow hotpathalloc", name)
 				}
 			}
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "hot-path function %s spawns a goroutine, which allocates: dispatch through exec.ParallelForW (its serial path is allocation-free) or add a reasoned //dnalint:allow hotpathalloc", name)
 		}
 		return true
 	})

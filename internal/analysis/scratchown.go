@@ -21,8 +21,9 @@ import (
 //     unknown goroutine;
 //   - a `go` closure capturing a scratch variable (or pointer to one)
 //     declared outside the closure — two goroutines would share one buffer.
-//     Capturing a *slice* of scratch is allowed: that is the per-worker slot
-//     pattern, where the goroutine indexes its own slot;
+//     Capturing a *slice* of scratch, or an exec.Slots[S] bank, is allowed:
+//     that is the per-worker slot pattern, where the goroutine indexes its
+//     own slot by worker id;
 //   - assigning a scratch value into a package-level variable.
 //
 // The built-in scratch types are the module's known kernels; additional
@@ -101,7 +102,12 @@ func (s *scratchSet) isScratchNamed(t types.Type) bool {
 }
 
 // involvesScratch reports whether t contains a scratch type anywhere in its
-// structure (behind pointers, slices, arrays, maps, or channels).
+// structure: behind pointers, slices, arrays, maps, channels, struct fields,
+// or generic type arguments. The last two are what let the analyzer see
+// through the executor idioms — a struct bundling per-worker state with its
+// scratch, and exec.Slots[S] instantiated with a scratch type — so sharing
+// one of those globally or over a channel is flagged just like sharing the
+// scratch value directly.
 func (s *scratchSet) involvesScratch(t types.Type) bool {
 	seen := map[types.Type]bool{}
 	var walk func(t types.Type) bool
@@ -112,6 +118,15 @@ func (s *scratchSet) involvesScratch(t types.Type) bool {
 		seen[t] = true
 		if s.isScratchNamed(t) {
 			return true
+		}
+		if named, ok := t.(*types.Named); ok {
+			if args := named.TypeArgs(); args != nil {
+				for i := 0; i < args.Len(); i++ {
+					if walk(args.At(i)) {
+						return true
+					}
+				}
+			}
 		}
 		switch u := t.Underlying().(type) {
 		case *types.Pointer:
@@ -124,6 +139,12 @@ func (s *scratchSet) involvesScratch(t types.Type) bool {
 			return walk(u.Key()) || walk(u.Elem())
 		case *types.Chan:
 			return walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
 		}
 		if ptr, ok := t.(*types.Pointer); ok {
 			return walk(ptr.Elem())

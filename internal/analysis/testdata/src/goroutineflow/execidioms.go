@@ -1,0 +1,47 @@
+// Executor idioms: a goroutine joined through the exec layer — an
+// exec.Group member protocol or an exec.Tickets release the spawn site's
+// Acquire observes — satisfies the analyzer the same way a raw WaitGroup or
+// done-channel does.
+package goroutineflow
+
+import "dnastore/internal/exec"
+
+// releasesTicket is joined through the bounded ticket bank: the spawn
+// site's next Acquire observes the completion.
+func releasesTicket(n int) {
+	tickets := exec.NewTickets(n)
+	go func() {
+		tickets.Release()
+	}()
+}
+
+// waitsOnGroup is joined by waiting on the executor group — the closer
+// idiom the streaming pumps use.
+func waitsOnGroup(g *exec.Group, ch chan int) {
+	go func() {
+		g.Wait()
+		close(ch)
+	}()
+}
+
+// namedWithGroup carries its join signal as an *exec.Group argument.
+func namedWithGroup(g *exec.Group) {
+	go drainGroup(g)
+}
+
+func drainGroup(g *exec.Group) { g.Wait() }
+
+// namedWithTickets carries its join signal as an *exec.Tickets argument.
+func namedWithTickets(t *exec.Tickets) {
+	go returnTicket(t)
+}
+
+func returnTicket(t *exec.Tickets) { t.Release() }
+
+// stillOrphaned proves the exec types don't blanket-exempt spawns: no
+// group, no tickets, no channel, no context — still a leak.
+func stillOrphaned() {
+	go func() { // want "goroutine is neither joined nor cancellable"
+		_ = 1 + 1
+	}()
+}

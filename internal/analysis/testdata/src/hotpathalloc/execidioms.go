@@ -1,0 +1,26 @@
+// Executor idioms: a hot function must not spawn goroutines directly (each
+// spawn allocates); dispatching through exec.ParallelForW is the sanctioned
+// route, because its serial (workers <= 1) branch is allocation-free.
+package hotpathalloc
+
+import (
+	"context"
+
+	"dnastore/internal/exec"
+)
+
+//dnalint:hotpath
+func spawnsDirectly(items []int, done chan struct{}) {
+	go func() { // want "spawns a goroutine"
+		items[0] = 1
+		close(done)
+	}()
+	<-done
+}
+
+//dnalint:hotpath
+func dispatchesThroughExecutor(ctx context.Context, items []int) {
+	exec.ParallelForW(ctx, 1, len(items), func(w, i int) {
+		items[i] = i * w
+	})
+}

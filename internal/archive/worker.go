@@ -13,6 +13,8 @@ import (
 
 	"dnastore/internal/codec"
 	"dnastore/internal/core"
+	"dnastore/internal/exec"
+	"dnastore/internal/obs"
 )
 
 // Hooks are test/chaos instrumentation points in the worker's per-volume
@@ -50,6 +52,14 @@ type WorkerOptions struct {
 	Stream core.StreamOptions
 	// Hooks are chaos/test instrumentation points.
 	Hooks Hooks
+	// Metrics, when set, overrides the pipeline's observability sink for
+	// this worker: per-stage counters of every decoded volume (cluster,
+	// reconstruct, decode) accumulate into it, plus a "volume" stage
+	// tracking the worker's claim/commit loop (items_in = claims,
+	// items_out = commits, retries = corrupt checkpoints redone, spills =
+	// volumes abandoned to a lease takeover). Nil inherits the pipeline's
+	// own Metrics registry.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills in WorkerOptions defaults.
@@ -119,6 +129,9 @@ func RunWorker(ctx context.Context, p *core.Pipeline, dir, outPath string, o Wor
 		return res, err
 	}
 	work := *p
+	if o.Metrics != nil {
+		work.Metrics = o.Metrics
+	}
 	if work.Codec == nil {
 		c, err := m.Codec()
 		if err != nil {
@@ -151,6 +164,7 @@ func RunWorker(ctx context.Context, p *core.Pipeline, dir, outPath string, o Wor
 		d: d, m: m, p: &work, o: o, opts: opts,
 		out: out, shards: shards,
 		done: make(map[uint32]bool, len(m.Volumes)),
+		vol:  work.Metrics.Stage("volume"),
 	}
 	backoff := o.Backoff
 	for {
@@ -198,6 +212,10 @@ type worker struct {
 	done      map[uint32]bool
 	res       WorkerResult
 	renewErrs atomic.Int64
+	// vol is the "volume" stage of the worker's metrics sink (nil when no
+	// registry is wired): items_in counts claims, items_out commits,
+	// retries redone checkpoints, spills abandoned volumes.
+	vol *obs.Stage
 }
 
 // sweep makes one pass over the volume table, claiming and decoding every
@@ -237,6 +255,7 @@ func (w *worker) sweep(ctx context.Context) (progress bool, remaining int, err e
 		if takeover {
 			w.res.Takeovers++
 		}
+		w.vol.AddIn(1)
 		if derr := w.decodeVolume(ctx, mv, corrupt); derr != nil {
 			return false, 0, derr
 		}
@@ -254,6 +273,11 @@ func (w *worker) sweep(ctx context.Context) (progress bool, remaining int, err e
 // the whole crash-consistency story: a worker that was presumed dead and
 // taken over must not publish a commit record behind the new owner's back.
 func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corrupt bool) (err error) {
+	start := time.Now()
+	defer func() {
+		w.vol.AddCalls(1)
+		w.vol.AddBusy(time.Since(start))
+	}()
 	leasePath := w.d.LeasePath(mv.ID)
 	abandoned := false
 	defer func() {
@@ -276,6 +300,7 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 	} else if cerr != nil && !errors.Is(cerr, fs.ErrNotExist) {
 		if corrupt {
 			w.res.Redone++
+			w.vol.AddRetries(1)
 		}
 		// Remove the unusable record under the lease; we are about to
 		// replace it after an idempotent redo.
@@ -291,14 +316,8 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 	// belt-and-braces for decodes whose loss lands between ticks.
 	var leaseLost atomic.Bool
 	stopRenew := make(chan struct{})
-	renewDone := make(chan struct{})
-	go func() {
-		defer close(renewDone)
-		defer func() {
-			if rec := recover(); rec != nil {
-				w.renewErrs.Add(1)
-			}
-		}()
+	renew := exec.NewGroup(func(any) { w.renewErrs.Add(1) })
+	renew.Go(func() {
 		t := time.NewTicker(w.o.StaleAfter / 3)
 		defer t.Stop()
 		for {
@@ -317,8 +336,8 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 				}
 			}
 		}
-	}()
-	defer func() { close(stopRenew); <-renewDone }()
+	})
+	defer func() { close(stopRenew); renew.Wait() }()
 
 	wk := w.loadShard(mv)
 	vr := w.p.DecodeVolume(ctx, wk, w.opts)
@@ -356,6 +375,7 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 		}
 		abandoned = true
 		w.res.Abandoned++
+		w.vol.AddSpills(1)
 		return nil
 	}
 
@@ -387,6 +407,7 @@ func (w *worker) decodeVolume(ctx context.Context, mv codec.ManifestVolume, corr
 	}
 
 	w.done[mv.ID] = true
+	w.vol.AddOut(1)
 	switch vr.Outcome {
 	case core.OutcomeDecoded:
 		w.res.Decoded++

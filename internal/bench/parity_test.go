@@ -165,4 +165,12 @@ func TestThroughputQuick(t *testing.T) {
 			t.Errorf("cluster/%d row has empty fields: %+v", cs.Reads, cs)
 		}
 	}
+	// The harness rows are views over the obs registry; the cross-check that
+	// cmd/benchcompare runs on every BENCH file must hold here too.
+	if err := VerifyMetrics(res); err != nil {
+		t.Errorf("metrics/harness row mismatch: %v", err)
+	}
+	if ek := res.MetricsStage("edit-kernel"); ek.Calls < 6 {
+		t.Errorf("edit-kernel snapshot has %d calls, want >= 6 (2 kernels x 3 lengths)", ek.Calls)
+	}
 }

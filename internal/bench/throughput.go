@@ -11,6 +11,7 @@ import (
 	"dnastore/internal/codec"
 	"dnastore/internal/dna"
 	"dnastore/internal/edit"
+	"dnastore/internal/obs"
 	"dnastore/internal/recon"
 	"dnastore/internal/sim"
 	"dnastore/internal/xrand"
@@ -129,6 +130,55 @@ type ThroughputResult struct {
 	// rows only when the two files' StreamConfigs match.
 	StreamConfig *StreamBenchConfig `json:"stream_config,omitempty"`
 	Streams      []StreamStat       `json:"streams,omitempty"`
+
+	// MetricsStages is the obs-registry snapshot of the harness run: every
+	// timeStage measurement is recorded as a stage in one registry, and the
+	// table rows above are derived from these counters (not a second clock).
+	// cmd/benchcompare asserts the two views agree (see VerifyMetrics).
+	MetricsStages []obs.StageSnapshot `json:"metrics_stages,omitempty"`
+}
+
+// MetricsStage returns the named stage's obs snapshot (zero value when
+// absent).
+func (r ThroughputResult) MetricsStage(name string) obs.StageSnapshot {
+	for _, s := range r.MetricsStages {
+		if s.Stage == name {
+			return s
+		}
+	}
+	return obs.StageSnapshot{}
+}
+
+// VerifyMetrics cross-checks the harness's stage rows against the obs
+// snapshots captured during the same run: every row must have a snapshot of
+// the same name whose calls, items-in and busy time cover the row. Because
+// timeStage derives each row from the registry's busy counter, a mismatch
+// means the two views were produced by different code paths — exactly the
+// drift the unified spine exists to prevent.
+func VerifyMetrics(r ThroughputResult) error {
+	if len(r.MetricsStages) == 0 {
+		return fmt.Errorf("bench: result carries no metrics snapshots")
+	}
+	byName := make(map[string]obs.StageSnapshot, len(r.MetricsStages))
+	for _, s := range r.MetricsStages {
+		byName[s.Stage] = s
+	}
+	for _, row := range r.Stages {
+		snap, ok := byName[row.Stage]
+		if !ok {
+			return fmt.Errorf("bench: stage %q has a harness row but no metrics snapshot", row.Stage)
+		}
+		if snap.Calls < 1 {
+			return fmt.Errorf("bench: stage %q snapshot has %d calls, want >= 1", row.Stage, snap.Calls)
+		}
+		if snap.ItemsIn != int64(row.Items) {
+			return fmt.Errorf("bench: stage %q snapshot has items_in=%d, harness row has %d", row.Stage, snap.ItemsIn, row.Items)
+		}
+		if snap.BusySeconds < row.Seconds-1e-9 {
+			return fmt.Errorf("bench: stage %q busy %.9fs does not cover harness row %.9fs", row.Stage, snap.BusySeconds, row.Seconds)
+		}
+	}
+	return nil
 }
 
 // StreamAt returns the stream row measured at the given archive size (zero
@@ -188,19 +238,28 @@ func allocsPerRun(runs int, f func()) float64 {
 	return float64(after.Mallocs-before.Mallocs) / float64(runs)
 }
 
-// timeStage runs f once, timing it, and derives rates from the item/byte
-// volumes the stage processed.
-func timeStage(name, unit string, items, strands, bytes int, f func()) StageStat {
+// timeStage runs f once under reg's stage counters and derives the row's
+// Seconds from the registry's busy-time delta — harness rows and metrics
+// snapshots read one clock, which is what lets VerifyMetrics assert they
+// agree. A nil registry degrades to plain wall-clock timing.
+func timeStage(reg *obs.Registry, name, unit string, items, strands, bytes int, f func()) StageStat {
+	st := reg.Stage(name)
+	st.AddIn(int64(items))
+	before := st.Busy()
 	start := time.Now()
-	f()
+	//dnalint:allow errflow -- the closure always returns nil; Time only relays it
+	_ = st.Time(func() error { f(); return nil })
 	sec := time.Since(start).Seconds()
-	st := StageStat{Stage: name, Items: items, Unit: unit, Seconds: sec}
-	if sec > 0 {
-		st.ItemsPerSec = float64(items) / sec
-		st.StrandsPerSec = float64(strands) / sec
-		st.BytesPerSec = float64(bytes) / sec
+	if st != nil {
+		sec = (st.Busy() - before).Seconds()
 	}
-	return st
+	stat := StageStat{Stage: name, Items: items, Unit: unit, Seconds: sec}
+	if sec > 0 {
+		stat.ItemsPerSec = float64(items) / sec
+		stat.StrandsPerSec = float64(strands) / sec
+		stat.BytesPerSec = float64(bytes) / sec
+	}
+	return stat
 }
 
 // Throughput measures every pipeline stage on one synthetic pool and
@@ -214,6 +273,9 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 	}
+	// One registry spans the whole harness; its snapshot ships in the result
+	// so BENCH files carry the same counters -metrics-json exposes.
+	reg := obs.NewRegistry()
 
 	// --- encode ---
 	c, err := codec.NewCodec(codec.Params{N: 150, K: 120, PayloadBytes: 30, Seed: cfg.Seed})
@@ -226,7 +288,7 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 		data[i] = byte(rng.Intn(256))
 	}
 	var encoded []dna.Seq
-	st := timeStage("encode", "byte", len(data), 0, len(data), func() {
+	st := timeStage(reg, "encode", "byte", len(data), 0, len(data), func() {
 		encoded, err = c.EncodeFile(data)
 		if err != nil {
 			panic("bench: encode failed: " + err.Error())
@@ -248,7 +310,7 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 		Seed:     cfg.Seed + 1,
 	}
 	var reads []sim.Read
-	st = timeStage("simulate", "strand", cfg.Strands, cfg.Strands, 0, func() {
+	st = timeStage(reg, "simulate", "strand", cfg.Strands, cfg.Strands, 0, func() {
 		reads = sim.SimulatePool(strands, simOpts)
 	})
 	readSeqs := make([]dna.Seq, len(reads))
@@ -268,7 +330,7 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	threshold := cfg.StrandLen / 4
 	var es edit.Scratch
 	editBytes := 0
-	st = timeStage("edit-distance", "pair", pairs, 0, 0, func() {
+	st = timeStage(reg, "edit-distance", "pair", pairs, 0, 0, func() {
 		prng := xrand.New(cfg.Seed + 2)
 		for i := 0; i < pairs; i++ {
 			a := readSeqs[prng.Intn(len(readSeqs))]
@@ -285,12 +347,12 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	res.Stages = append(res.Stages, st)
 
 	// --- edit-kernel microbench (DP vs bit-parallel) ---
-	res.EditKernels = editKernelBench(cfg)
+	res.EditKernels = editKernelBench(reg, cfg)
 
 	// --- cluster ---
 	clusterOpts := cluster.Options{Seed: cfg.Seed + 3}
 	var clusterRes cluster.Result
-	st = timeStage("cluster", "read", len(readSeqs), len(readSeqs), readBytes, func() {
+	st = timeStage(reg, "cluster", "read", len(readSeqs), len(readSeqs), readBytes, func() {
 		clusterRes = cluster.Cluster(readSeqs, clusterOpts)
 	})
 	res.Stages = append(res.Stages, st)
@@ -305,11 +367,11 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	}
 
 	// --- cluster scaling (cluster/<reads> rows) ---
-	res.ClusterScale = clusterScaleBench(cfg)
+	res.ClusterScale = clusterScaleBench(reg, cfg)
 
 	// --- reconstruct (POA consensus, scratch vs seed) ---
 	var consensuses []dna.Seq
-	st = timeStage("reconstruct-nw", "cluster", len(clusters), len(clusters), clusteredBytes, func() {
+	st = timeStage(reg, "reconstruct-nw", "cluster", len(clusters), len(clusters), clusteredBytes, func() {
 		consensuses = recon.ReconstructAll(clusters, cfg.StrandLen, recon.NW{}, 0)
 	})
 	// Byte-identical check: the reused-graph consensus must equal the seed
@@ -333,7 +395,7 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	res.Stages = append(res.Stages, st)
 
 	// --- reconstruct (BMA, for cross-algorithm context) ---
-	st = timeStage("reconstruct-bma", "cluster", len(clusters), len(clusters), clusteredBytes, func() {
+	st = timeStage(reg, "reconstruct-bma", "cluster", len(clusters), len(clusters), clusteredBytes, func() {
 		recon.ReconstructAll(clusters, cfg.StrandLen, recon.BMA{}, 0)
 	})
 	if len(probe) > 0 {
@@ -343,11 +405,11 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	res.Stages = append(res.Stages, st)
 
 	// --- reconstruction algorithms head-to-head (recon/<algo> rows) ---
-	res.Recons = reconBench(clusters, cfg.StrandLen)
+	res.Recons = reconBench(reg, clusters, cfg.StrandLen)
 
 	// --- decode (strand parsing + RS correction on the encoded pool) ---
 	var decoded []byte
-	st = timeStage("decode", "strand", len(encoded), len(encoded), len(data), func() {
+	st = timeStage(reg, "decode", "strand", len(encoded), len(encoded), len(data), func() {
 		decoded, _, err = c.DecodeFile(encoded)
 		if err != nil {
 			panic("bench: decode failed: " + err.Error())
@@ -360,6 +422,7 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 	st.AllocsPerOp = allocsPerRun(3, func() { _, _, _ = c.DecodeFile(encoded) })
 	res.Stages = append(res.Stages, st)
 
+	res.MetricsStages = reg.Snapshot()
 	return res
 }
 
@@ -368,7 +431,7 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 // threshold k = len/4 — the one the clustering hot path uses). These rows are
 // the source of the measured-speedup numbers in EXPERIMENTS.md; Agree
 // cross-checks both kernels' verdicts on the first pairs of the workload.
-func editKernelBench(cfg ThroughputConfig) []EditKernelStat {
+func editKernelBench(reg *obs.Registry, cfg ThroughputConfig) []EditKernelStat {
 	rng := xrand.New(cfg.Seed + 9)
 	pairs := cfg.Strands * 5
 	var es edit.Scratch
@@ -388,7 +451,7 @@ func editKernelBench(cfg ThroughputConfig) []EditKernelStat {
 			pool[i] = s
 		}
 		bench := func(f func(a, b dna.Seq, k int) (int, bool)) StageStat {
-			return timeStage("edit-kernel", "pair", pairs, 0, 0, func() {
+			return timeStage(reg, "edit-kernel", "pair", pairs, 0, 0, func() {
 				prng := xrand.New(cfg.Seed + 11)
 				for i := 0; i < pairs; i++ {
 					f(pool[prng.Intn(poolSize)], pool[prng.Intn(poolSize)], k)
@@ -429,13 +492,13 @@ func editKernelBench(cfg ThroughputConfig) []EditKernelStat {
 // one of them), BMA and DoubleSidedBMA against their fresh-buffer per-call
 // entry points. cmd/benchcompare treats a false Identical as a broken
 // correctness bit, not a throughput delta.
-func reconBench(clusters [][]dna.Seq, targetLen int) []ReconStat {
+func reconBench(reg *obs.Registry, clusters [][]dna.Seq, targetLen int) []ReconStat {
 	algos := []recon.Algorithm{recon.NW{}, recon.BMA{}, recon.DoubleSidedBMA{}, recon.Adaptive{}}
 	outs := make(map[string][]dna.Seq, len(algos))
 	var stats []ReconStat
 	for _, algo := range algos {
 		var out []dna.Seq
-		st := timeStage("recon/"+algo.Name(), "cluster", len(clusters), 0, 0, func() {
+		st := timeStage(reg, "recon/"+algo.Name(), "cluster", len(clusters), 0, 0, func() {
 			out = recon.ReconstructAll(clusters, targetLen, algo, 0)
 		})
 		outs[algo.Name()] = out
@@ -487,7 +550,7 @@ const clusterScaleRefMaxReads = 50000
 // gets its own deterministic pool — same strand length, coverage and error
 // model as the headline stage, so the 1× row mirrors the "cluster" stage
 // row's operating point.
-func clusterScaleBench(cfg ThroughputConfig) []ClusterScaleStat {
+func clusterScaleBench(reg *obs.Registry, cfg ThroughputConfig) []ClusterScaleStat {
 	out := make([]ClusterScaleStat, 0, len(clusterScaleMults))
 	for _, mult := range clusterScaleMults {
 		strands := make([]dna.Seq, cfg.Strands*mult)
@@ -506,7 +569,7 @@ func clusterScaleBench(cfg ThroughputConfig) []ClusterScaleStat {
 		}
 		opts := cluster.Options{Seed: cfg.Seed + 3}
 		var res cluster.Result
-		st := timeStage(fmt.Sprintf("cluster/%d", len(readSeqs)), "read",
+		st := timeStage(reg, fmt.Sprintf("cluster/%d", len(readSeqs)), "read",
 			len(readSeqs), 0, 0, func() {
 				res = cluster.Cluster(readSeqs, opts)
 			})

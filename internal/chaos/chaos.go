@@ -24,6 +24,7 @@ import (
 	"dnastore/internal/cluster"
 	"dnastore/internal/core"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 	"dnastore/internal/recon"
 	"dnastore/internal/sim"
 	"dnastore/internal/xrand"
@@ -57,6 +58,26 @@ type Faults struct {
 	// the stage wrappers, per-strand transmissions for Channel, per-cluster
 	// consensus calls for Algorithm. 0 never panics.
 	PanicEveryN int
+}
+
+// PanicHook returns an obs.Hook that panics on every everyN'th StageBegin
+// event of the named stage — fault injection that rides the observability
+// spine instead of wrapping a module. Because hooks run synchronously on the
+// stage's goroutine, the panic erupts inside the orchestrator's stage
+// boundary and must surface as core.ErrStagePanic carrying the stage name.
+// A third injection granularity alongside the stage and work-item wrappers:
+// it needs no knowledge of the stage's interface, so it also reaches stages
+// that have no wrapper (encode, decode, demux). everyN <= 0 never panics.
+func PanicHook(stage string, everyN int) obs.Hook {
+	var calls counter
+	return func(ev obs.Event) {
+		if ev.Kind != obs.StageBegin || ev.Stage != stage {
+			return
+		}
+		if calls.tick(everyN) {
+			panic("chaos: injected hook panic in " + stage)
+		}
+	}
 }
 
 // counter is a concurrency-safe deterministic call counter.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"dnastore/internal/codec"
 	"dnastore/internal/core"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 	"dnastore/internal/recon"
 	"dnastore/internal/sim"
 	"dnastore/internal/xrand"
@@ -122,6 +124,41 @@ func TestStagePanicIsContained(t *testing.T) {
 	_, err := p.Run([]byte("boom"), core.RunOptions{})
 	if !errors.Is(err, core.ErrStagePanic) {
 		t.Fatalf("err = %v, want core.ErrStagePanic", err)
+	}
+}
+
+func TestPanicHookSurfacesAsStagePanic(t *testing.T) {
+	// A PanicHook rides the observability spine: it panics inside the stage
+	// boundary, so the orchestrator must wrap it as ErrStagePanic carrying
+	// the stage's name, and the sink registry must count the contained panic.
+	for _, stage := range []string{"encode", "cluster"} {
+		t.Run(stage, func(t *testing.T) {
+			c := testCodec(t)
+			p := &core.Pipeline{
+				Codec:         c,
+				Simulator:     core.PoolSimulator{Options: sim.Options{Channel: sim.CalibratedIID(0.01), Coverage: sim.FixedCoverage(4), Seed: 1}},
+				Clusterer:     core.OptionsClusterer{Options: cluster.Options{Seed: 2}},
+				Reconstructor: core.AlgorithmReconstructor{Algorithm: recon.NW{}},
+				Metrics:       obs.NewRegistry(),
+			}
+			p.Metrics.OnEvent(PanicHook(stage, 1))
+			_, err := p.Run([]byte("hook boom"), core.RunOptions{})
+			if !errors.Is(err, core.ErrStagePanic) {
+				t.Fatalf("err = %v, want core.ErrStagePanic", err)
+			}
+			if !strings.Contains(err.Error(), stage) {
+				t.Fatalf("err %q does not name stage %q", err, stage)
+			}
+			var counted int64
+			for _, snap := range p.Metrics.Snapshot() {
+				if snap.Stage == stage {
+					counted = snap.Panics
+				}
+			}
+			if counted != 1 {
+				t.Fatalf("sink registry counted %d panics for %s, want 1", counted, stage)
+			}
+		})
 	}
 }
 

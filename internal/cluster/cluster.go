@@ -28,8 +28,6 @@ import (
 	"context"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"dnastore/internal/dna"
@@ -263,7 +261,7 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 
 	// Per-worker edit-distance scratch, reused across all rounds and sweep
 	// passes. Worker w is the only goroutine touching slot w (see
-	// parallelForCtxW), so no locking is needed.
+	// exec.ParallelForW), so no locking is needed.
 	editScr := make([]edit.Scratch, o.Workers)
 	useRef := o.useReference()
 	var rr *roundRunner
@@ -335,77 +333,4 @@ func ClusterContext(ctx context.Context, reads []dna.Seq, opts Options) (Result,
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return Result{Clusters: out, Stats: stats}, nil
-}
-
-// runGuarded contains a panic inside one parallel-for item: the item's
-// outputs stay at their pre-set "no evidence" values, so one poisoned read
-// degrades clustering instead of crashing it. Package-level (not a closure)
-// so the serial dispatch path allocates nothing per call.
-func runGuarded(fn func(worker, i int), w, i int) {
-	defer func() { _ = recover() }()
-	fn(w, i)
-}
-
-// parallelForCtx runs fn(i) for i in [0,n) across the given number of
-// workers. Workers stop early once ctx is cancelled (already-started items
-// finish; the caller re-checks ctx after the call). A panic inside one item
-// is contained to that item: its outputs stay at their zero values, which
-// every caller treats as "no evidence" (the read simply fails to merge this
-// round), so one poisoned read degrades clustering instead of crashing it.
-func parallelForCtx(ctx context.Context, workers, n int, fn func(i int)) {
-	parallelForCtxW(ctx, workers, n, func(_, i int) { fn(i) })
-}
-
-// parallelForCtxW is parallelForCtx with the worker index exposed to fn.
-// The index is always in [0, workers) for the workers value passed in (the
-// internal clamp only shrinks the range), which is what lets callers hand
-// each worker its own scratch slot: fn(w, ·) calls for one w never overlap,
-// so scratch[w] is effectively goroutine-local. Cancellation and panic
-// containment are identical to parallelForCtx.
-func parallelForCtxW(ctx context.Context, workers, n int, fn func(worker, i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if ctx.Err() != nil {
-				return
-			}
-			runGuarded(fn, 0, i)
-		}
-		return
-	}
-	parallelForCtxWSpawn(ctx, workers, n, fn)
-}
-
-// parallelForCtxWSpawn is parallelForCtxW's multi-goroutine branch. It is a
-// separate function because its stop flag and wait group escape into the
-// worker closures and would otherwise be heap-allocated in the caller's
-// prologue, costing the serial (Workers == 1) dispatch two allocations per
-// call — the difference between an allocation-free round and not.
-func parallelForCtxWSpawn(ctx context.Context, workers, n int, fn func(worker, i int)) {
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Worker-level backstop: runGuarded already contains per-item
-			// panics, but the dispatch loop itself must not be able to kill
-			// the process — the worker's remaining items stay at their zero
-			// values, which callers treat as "no evidence".
-			defer func() { _ = recover() }()
-			for i := w; i < n; i += workers {
-				if stop.Load() {
-					return
-				}
-				if ctx.Err() != nil {
-					stop.Store(true)
-					return
-				}
-				runGuarded(fn, w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
 }

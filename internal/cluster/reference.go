@@ -17,6 +17,7 @@ import (
 
 	"dnastore/internal/dna"
 	"dnastore/internal/edit"
+	"dnastore/internal/exec"
 	"dnastore/internal/xrand"
 )
 
@@ -73,7 +74,7 @@ func referenceRound(ctx context.Context, reads []dna.Seq, uf *unionFind, rng *xr
 	// Signatures for all representatives, in parallel.
 	sigStart := time.Now() //dnalint:allow determinism -- Stats timing telemetry; never feeds a clustering decision
 	sigList := make([][]int32, len(roots))
-	parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
+	exec.ParallelForW(ctx, o.Workers, len(roots), func(w, i int) {
 		sigList[i] = grams.signatureScratch(reads[reps[roots[i]]], &sigScr[w])
 	})
 	sigs := make(map[int][]int32, len(roots))
@@ -95,7 +96,7 @@ func referenceRound(ctx context.Context, reads []dna.Seq, uf *unionFind, rng *xr
 	proposalsPer := make([][]proposal, len(keys))
 	editCalls := make([]int, len(keys))
 	cheap := make([]int, len(keys))
-	parallelForCtxW(ctx, o.Workers, len(keys), func(w, ki int) {
+	exec.ParallelForW(ctx, o.Workers, len(keys), func(w, ki int) {
 		key := keys[ki]
 		group := partitions[key]
 		if len(group) < 2 {
@@ -148,7 +149,7 @@ func referenceRound(ctx context.Context, reads []dna.Seq, uf *unionFind, rng *xr
 // sweepScratch is the per-worker reusable state of the straggler sweep: the
 // edit-distance DP scratch, the signature first-occurrence table, the
 // averaged-signature accumulators and the candidate-ranking buffer. Slot w
-// is touched only by worker w (parallelForCtxW), never shared.
+// is touched only by worker w (exec.ParallelForW), never shared.
 //
 //dnalint:scratch
 type sweepScratch struct {
@@ -215,7 +216,7 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 	// which is what makes the nearest-candidate ranking reliable even at
 	// error rates where any single representative's signature is mangled.
 	meanSigs := make([][]float32, len(roots))
-	parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
+	exec.ParallelForW(ctx, o.Workers, len(roots), func(w, i int) {
 		sc := &scr[w]
 		ms := members[roots[i]]
 		n := len(ms)
@@ -266,7 +267,7 @@ func stragglerSweep(ctx context.Context, reads []dna.Seq, uf *unionFind, o Optio
 	type merge struct{ a, b int }
 	merges := make([][]merge, len(roots))
 	editCalls := make([]int, len(roots))
-	parallelForCtxW(ctx, o.Workers, len(roots), func(w, i int) {
+	exec.ParallelForW(ctx, o.Workers, len(roots), func(w, i int) {
 		if sizes[i] > small {
 			return
 		}

@@ -28,6 +28,7 @@ import (
 
 	"dnastore/internal/dna"
 	"dnastore/internal/edit"
+	"dnastore/internal/exec"
 	"dnastore/internal/xrand"
 )
 
@@ -242,7 +243,7 @@ type roundRunner struct {
 	cheapN    []int32
 
 	// Dispatch closures, created once so steady-state rounds do not
-	// allocate them per parallelForCtxW call.
+	// allocate them per ParallelForW call.
 	sigItemFn   func(w, i int)
 	groupItemFn func(w, i int)
 
@@ -399,7 +400,7 @@ func (rr *roundRunner) runRound(rng *xrand.RNG, round int) {
 			rr.sigNeeded[e.root] = true
 		}
 	}
-	parallelForCtxW(rr.ctx, o.Workers, nr, rr.sigItemFn)
+	exec.ParallelForW(rr.ctx, o.Workers, nr, rr.sigItemFn)
 	rr.stats.SignatureTime += time.Since(sigStart)
 
 	// Phase 1 (parallel, deterministic): per-partition merge proposals.
@@ -424,7 +425,7 @@ func (rr *roundRunner) runRound(rng *xrand.RNG, round int) {
 	for w := 0; w < aw; w++ {
 		rr.wprops[w] = rr.wprops[w][:0]
 	}
-	parallelForCtxW(rr.ctx, o.Workers, ngroups, rr.groupItemFn)
+	exec.ParallelForW(rr.ctx, o.Workers, ngroups, rr.groupItemFn)
 
 	// Phase 2 (serial): apply proposals in partition order, exactly like the
 	// reference path — union application order decides which read id ends up

@@ -37,6 +37,8 @@ package cluster
 import (
 	"math"
 	"sort"
+
+	"dnastore/internal/exec"
 )
 
 // sweepScreenMargin is added to the limit-th smallest approximate distance
@@ -52,7 +54,7 @@ import (
 const sweepScreenMargin = 4.0
 
 // sweepWorker is one worker's reusable straggler-sweep state. Slot w is
-// touched only by worker w (parallelForCtxW), never shared.
+// touched only by worker w (exec.ParallelForW), never shared.
 //
 //dnalint:scratch
 type sweepWorker struct {
@@ -155,7 +157,7 @@ func (rr *roundRunner) runSweepPass(pass uint64) int {
 	for i := range sw.meanOK {
 		sw.meanOK[i] = false
 	}
-	parallelForCtxW(rr.ctx, o.Workers, nr, sw.meanItemFn)
+	exec.ParallelForW(rr.ctx, o.Workers, nr, sw.meanItemFn)
 
 	// Postings over the averaged signatures (serial, O(nr·G)).
 	sw.buildPostings(nr, o.Mode, G)
@@ -168,7 +170,7 @@ func (rr *roundRunner) runSweepPass(pass uint64) int {
 		sw.bestJ[i] = -1
 		sw.editCalls[i] = 0
 	}
-	parallelForCtxW(rr.ctx, o.Workers, nr, sw.stragItemFn)
+	exec.ParallelForW(rr.ctx, o.Workers, nr, sw.stragItemFn)
 
 	// Serial apply in straggler order, exactly like the reference.
 	applied := 0

@@ -7,6 +7,7 @@ import (
 
 	"dnastore/internal/dna"
 	"dnastore/internal/edit"
+	"dnastore/internal/exec"
 	"dnastore/internal/xrand"
 )
 
@@ -381,14 +382,14 @@ func autoThresholdRowsRef(ctx context.Context, reads []dna.Seq, grams gramSet, p
 	scs := make([]sigScratch, workers)
 	probeSigs := make([][]int32, nProbe)
 	sampleSigs := make([][]int32, nSample)
-	parallelForCtxW(ctx, workers, nProbe+nSample, func(w, i int) {
+	exec.ParallelForW(ctx, workers, nProbe+nSample, func(w, i int) {
 		if i < nProbe {
 			probeSigs[i] = grams.signatureScratch(reads[probes[i]], &scs[w])
 		} else {
 			sampleSigs[i-nProbe] = grams.signatureScratch(reads[sample[i-nProbe]], &scs[w])
 		}
 	})
-	parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
+	exec.ParallelForW(ctx, workers, nProbe, func(_, i int) {
 		row := rows[i*nSample : (i+1)*nSample]
 		pi := probes[i]
 		psig := probeSigs[i]
@@ -422,7 +423,7 @@ func autoThresholdRowsFast(ctx context.Context, reads []dna.Seq, grams gramSet, 
 		qw := sigWords(len(grams.grams))
 		probeBits := make([]uint64, nProbe*qw)
 		sampleBits := make([]uint64, nSample*qw)
-		parallelForCtxW(ctx, workers, nProbe+nSample, func(_, i int) {
+		exec.ParallelForW(ctx, workers, nProbe+nSample, func(_, i int) {
 			if i < nProbe {
 				gi.qsigBitsInto(grams, reads[probes[i]], probeBits[i*qw:(i+1)*qw])
 				probeOK[i] = true
@@ -432,7 +433,7 @@ func autoThresholdRowsFast(ctx context.Context, reads []dna.Seq, grams gramSet, 
 				sampleOK[j] = true
 			}
 		})
-		parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
+		exec.ParallelForW(ctx, workers, nProbe, func(_, i int) {
 			if !probeOK[i] {
 				return
 			}
@@ -451,7 +452,7 @@ func autoThresholdRowsFast(ctx context.Context, reads []dna.Seq, grams gramSet, 
 	g := len(grams.grams)
 	probeSigs := make([]int32, nProbe*g)
 	sampleSigs := make([]int32, nSample*g)
-	parallelForCtxW(ctx, workers, nProbe+nSample, func(_, i int) {
+	exec.ParallelForW(ctx, workers, nProbe+nSample, func(_, i int) {
 		if i < nProbe {
 			gi.signatureInto(grams, reads[probes[i]], probeSigs[i*g:(i+1)*g])
 			probeOK[i] = true
@@ -461,7 +462,7 @@ func autoThresholdRowsFast(ctx context.Context, reads []dna.Seq, grams gramSet, 
 			sampleOK[j] = true
 		}
 	})
-	parallelForCtxW(ctx, workers, nProbe, func(_, i int) {
+	exec.ParallelForW(ctx, workers, nProbe, func(_, i int) {
 		if !probeOK[i] {
 			return
 		}

@@ -16,11 +16,13 @@ package core
 
 import (
 	"context"
+	"math"
 	"time"
 
 	"dnastore/internal/cluster"
 	"dnastore/internal/codec"
 	"dnastore/internal/dna"
+	"dnastore/internal/obs"
 	"dnastore/internal/recon"
 	"dnastore/internal/sim"
 	"dnastore/internal/xrand"
@@ -167,6 +169,24 @@ type Pipeline struct {
 	Simulator     Simulator
 	Clusterer     Clusterer
 	Reconstructor Reconstructor
+
+	// Metrics, when set, is the observability sink: every run (batch,
+	// stream, or per-volume) accumulates its per-stage counters into it,
+	// and hooks registered on it (obs.Registry.OnEvent) fire at every
+	// stage boundary — chaos.PanicHook rides these. Each run records into
+	// its own private registry and publishes atomically at the end, so a
+	// shared sink stays consistent under concurrent runs. Nil disables
+	// accumulation (per-run StageTimes are still reported).
+	Metrics *obs.Registry
+}
+
+// newRunRegistry creates the private per-run registry: exact local
+// attribution during the run, the sink's hooks firing live, and one atomic
+// publish into Metrics when the run finishes.
+func (p *Pipeline) newRunRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.InheritHooks(p.Metrics)
+	return reg
 }
 
 // New assembles a pipeline with the default module implementations:
@@ -212,12 +232,43 @@ func (s StageTimes) Total() time.Duration {
 // Overlap reports how much stage work ran concurrently: Total()/Wall.
 // 1.0 means fully serial execution; values above 1 mean that much stage
 // work overlapped (the streaming runtime's pipelining win). 0 when Wall is
-// unknown.
+// unknown or no stage work was recorded; the result is always finite
+// (never NaN/Inf), so it is safe to embed in reports and BENCH_*.json.
 func (s StageTimes) Overlap() float64 {
-	if s.Wall <= 0 {
+	total := s.Total()
+	if total <= 0 || s.Wall <= 0 {
 		return 0
 	}
-	return float64(s.Total()) / float64(s.Wall)
+	r := float64(total) / float64(s.Wall)
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
+}
+
+// StageTimesOf folds per-stage obs snapshots into the legacy StageTimes
+// view: each pipeline stage's busy nanoseconds land in the matching field,
+// non-pipeline stages (demux, archive bookkeeping) are ignored, and Wall
+// is left zero for the caller to fill from its own clock. StageTimes is
+// thus a thin, API-compatible projection of the obs registry.
+func StageTimesOf(snaps []obs.StageSnapshot) StageTimes {
+	var t StageTimes
+	for _, s := range snaps {
+		d := time.Duration(s.BusyNanos)
+		switch s.Stage {
+		case stageEncode:
+			t.Encode += d
+		case stageSimulate:
+			t.Simulate += d
+		case stageCluster:
+			t.Cluster += d
+		case stageReconstruct:
+			t.Reconstruct += d
+		case stageDecode:
+			t.Decode += d
+		}
+	}
+	return t
 }
 
 // add accumulates o's per-stage busy times into s (Wall is left alone: busy
@@ -314,49 +365,64 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 	if p.Codec == nil || p.Simulator == nil || p.Clusterer == nil || p.Reconstructor == nil {
 		return res, ErrNotConfigured
 	}
+	// The run records into a private registry (exact attribution even when
+	// several runs share one Pipeline) and publishes into the Metrics sink
+	// on every exit path; Result.Times is the StageTimes projection of the
+	// same counters.
+	reg := p.newRunRegistry()
 	runStart := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
-	defer func() { res.Times.Wall = time.Since(runStart) }()
+	defer func() {
+		res.Times = StageTimesOf(reg.Snapshot())
+		res.Times.Wall = time.Since(runStart)
+		reg.Publish(p.Metrics)
+	}()
 
-	// Encode runs in-process and fast; it only honours pre-cancellation.
-	if ctx.Err() != nil {
-		return res, cancelErr(ctx, "encode")
-	}
-	start := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
-	strands, err := p.Codec.EncodeFile(data)
+	// Encode runs in-process with no per-stage deadline; the shared stage
+	// runner still gives it pre-cancellation and panic containment.
+	enc := reg.Stage(stageEncode)
+	enc.AddIn(int64(len(data)))
+	var strands []dna.Seq
+	err := runStage(ctx, enc, 0, func(context.Context) error {
+		var eerr error
+		strands, eerr = p.Codec.EncodeFile(data)
+		return eerr
+	})
 	if err != nil {
 		return res, err
 	}
-	res.Times.Encode = time.Since(start)
+	enc.AddOut(int64(len(strands)))
 	res.Strands = len(strands)
 
+	simSt := reg.Stage(stageSimulate)
+	simSt.AddIn(int64(len(strands)))
 	var reads []sim.Read
-	start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
-	err = runStage(ctx, "simulate", opts.StageTimeout, func(ctx context.Context) error {
+	err = runStage(ctx, simSt, opts.StageTimeout, func(ctx context.Context) error {
 		var serr error
 		reads, serr = p.Simulator.Simulate(ctx, strands)
 		return serr
 	})
-	res.Times.Simulate = time.Since(start)
 	if err != nil {
 		return res, err
 	}
+	simSt.AddOut(int64(len(reads)))
 	res.Reads = len(reads)
 
 	seqs := make([]dna.Seq, len(reads))
 	for i, r := range reads {
 		seqs[i] = r.Seq
 	}
+	cluSt := reg.Stage(stageCluster)
+	cluSt.AddIn(int64(len(seqs)))
 	var clu cluster.Result
-	start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
-	err = runStage(ctx, "cluster", opts.StageTimeout, func(ctx context.Context) error {
+	err = runStage(ctx, cluSt, opts.StageTimeout, func(ctx context.Context) error {
 		var cerr error
 		clu, cerr = p.Clusterer.Cluster(ctx, seqs)
 		return cerr
 	})
-	res.Times.Cluster = time.Since(start)
 	if err != nil {
 		return res, err
 	}
+	cluSt.AddOut(int64(len(clu.Clusters)))
 	res.Clusters = len(clu.Clusters)
 	res.ClusterStats = clu.Stats
 
@@ -371,7 +437,7 @@ func (p *Pipeline) RunContext(ctx context.Context, data []byte, opts RunOptions)
 		decode: func(ctx context.Context, recons []dna.Seq, o codec.DecodeOptions) ([]byte, codec.Report, error) {
 			return p.Codec.DecodeFileContext(ctx, recons, o)
 		},
-	}, opts, seqs, clu.Clusters, &res.Times)
+	}, opts, seqs, clu.Clusters, reg)
 	res.Attempts = outcome.Attempts
 	res.Data, res.Report = outcome.Data, outcome.Report
 	if opts.KeepIntermediates {
@@ -407,8 +473,11 @@ type decodeOutcome struct {
 // runDecodePhase is the reconstruct+decode attempt loop with escalation
 // (see RunOptions.Retries): each retry raises the cluster-size floor,
 // optionally switches reconstructor, and re-interprets the same clustering.
-// Reconstruct and Decode busy times accumulate into times across attempts.
-func (p *Pipeline) runDecodePhase(ctx context.Context, job decodeJob, opts RunOptions, seqs []dna.Seq, clusters [][]int, times *StageTimes) (decodeOutcome, error) {
+// Reconstruct and Decode busy times, item counts and retry counters
+// accumulate into reg across attempts.
+func (p *Pipeline) runDecodePhase(ctx context.Context, job decodeJob, opts RunOptions, seqs []dna.Seq, clusters [][]int, reg *obs.Registry) (decodeOutcome, error) {
+	recSt := reg.Stage(stageReconstruct)
+	decSt := reg.Stage(stageDecode)
 	var out decodeOutcome
 	var firstRecons []dna.Seq
 	var lastErr error
@@ -416,6 +485,11 @@ func (p *Pipeline) runDecodePhase(ctx context.Context, job decodeJob, opts RunOp
 	bestFailed := -1 // fewest failed codewords among data-producing attempts
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		out.Attempts = attempt + 1
+		if attempt > 0 {
+			// Both stages re-run on a retry; each counts it.
+			recSt.AddRetries(1)
+			decSt.AddRetries(1)
+		}
 		minSize, reconstructor := escalation(attempt, opts, p.Reconstructor)
 		clusterSeqs, keptClusters := filterClusters(seqs, clusters, minSize)
 		if len(clusterSeqs) == 0 {
@@ -424,30 +498,32 @@ func (p *Pipeline) runDecodePhase(ctx context.Context, job decodeJob, opts RunOp
 			out.Report = codec.Report{MissingColumns: job.strands}
 			return out, noUsableClustersErr(minSize, len(clusters))
 		}
+		recSt.AddIn(int64(len(clusterSeqs)))
 		var recons []dna.Seq
-		start := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
-		err = runStage(ctx, "reconstruct", opts.StageTimeout, func(ctx context.Context) error {
+		err = runStage(ctx, recSt, opts.StageTimeout, func(ctx context.Context) error {
 			var rerr error
 			recons, rerr = reconstructor.ReconstructAll(ctx, clusterSeqs, job.targetLen)
 			return rerr
 		})
-		times.Reconstruct += time.Since(start)
 		if err != nil {
 			return out, err // cancellation or stage panic aborts the run
 		}
+		recSt.AddOut(int64(len(recons)))
 		if attempt == 0 {
 			firstRecons = recons
 		}
 
+		decSt.AddIn(int64(len(recons)))
 		var data []byte
 		var report codec.Report
-		start = time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
-		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
+		err = runStage(ctx, decSt, opts.StageTimeout, func(ctx context.Context) error {
 			var derr error
 			data, report, derr = job.decode(ctx, recons, codec.DecodeOptions{})
 			return derr
 		})
-		times.Decode += time.Since(start)
+		if err == nil {
+			decSt.AddOut(int64(len(data)))
+		}
 		if err == nil && report.FailedCodewords == 0 {
 			// Fully recovered (modulo repaired damage): done.
 			out.Data, out.Report = data, report
@@ -482,16 +558,16 @@ func (p *Pipeline) runDecodePhase(ctx context.Context, job decodeJob, opts RunOp
 	if opts.BestEffort {
 		// Every attempt failed outright: salvage whatever the first
 		// (least filtered) reconstruction allows, with the damage map.
+		decSt.AddIn(int64(len(firstRecons)))
 		var data []byte
 		var report codec.Report
-		start := time.Now() //dnalint:allow determinism -- Result.Times telemetry; timings never influence the decoded bytes
-		err = runStage(ctx, "decode", opts.StageTimeout, func(ctx context.Context) error {
+		err = runStage(ctx, decSt, opts.StageTimeout, func(ctx context.Context) error {
 			var derr error
 			data, report, derr = job.decode(ctx, firstRecons, codec.DecodeOptions{BestEffort: true})
 			return derr
 		})
-		times.Decode += time.Since(start)
 		if err == nil {
+			decSt.AddOut(int64(len(data)))
 			out.Data, out.Report = data, report
 			return out, nil
 		}

@@ -5,6 +5,23 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"dnastore/internal/obs"
+)
+
+// Canonical stage names. These are the obs.Registry keys every execution
+// path uses (batch, stream, volume, archive), the names -metrics-json
+// emits, and the names chaos hooks match on. StageTimesOf maps the five
+// pipeline stages back onto StageTimes; stageDemux is observable in
+// snapshots but has no StageTimes field (its cost was never part of the
+// Table III breakdown).
+const (
+	stageEncode      = "encode"
+	stageSimulate    = "simulate"
+	stageDemux       = "demux"
+	stageCluster     = "cluster"
+	stageReconstruct = "reconstruct"
+	stageDecode      = "decode"
 )
 
 // Typed sentinel errors of the fault-tolerant runtime. All are matchable
@@ -67,13 +84,21 @@ func isAbort(err error) bool {
 // runStage executes one pipeline stage under the optional per-stage
 // deadline, containing panics and normalizing cancellation errors:
 //
-//   - a panic on this goroutine becomes ErrStagePanic (panics inside the
-//     built-in worker pools are salvaged per work item before they get
-//     here — see the sim, recon and cluster packages);
+//   - a panic on this goroutine becomes ErrStagePanic carrying the stage
+//     name (panics inside the built-in worker pools are salvaged per work
+//     item before they get here — see the sim, recon and cluster
+//     packages);
 //   - a context error (the stage deadline or the caller's cancellation)
 //     comes back wrapped in ErrCancelled with the cause preserved;
 //   - any other stage error passes through untouched.
-func runStage(ctx context.Context, stage string, timeout time.Duration, fn func(ctx context.Context) error) error {
+//
+// st is the stage's obs counter set: runStage records the call and busy
+// time through st.Time, counts a contained panic via AddPanics, and fires
+// the registry's StageBegin/StageEnd hooks. A hook that panics (chaos
+// injection) is indistinguishable from the stage itself panicking — it
+// surfaces as ErrStagePanic with the stage name attached.
+func runStage(ctx context.Context, st *obs.Stage, timeout time.Duration, fn func(ctx context.Context) error) error {
+	stage := st.Name()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -85,10 +110,11 @@ func runStage(ctx context.Context, stage string, timeout time.Duration, fn func(
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
+				st.AddPanics(1)
 				err = fmt.Errorf("%w: %s: %v", ErrStagePanic, stage, r)
 			}
 		}()
-		return fn(ctx)
+		return st.Time(func() error { return fn(ctx) })
 	}()
 	if err == nil || errors.Is(err, ErrStagePanic) {
 		return err

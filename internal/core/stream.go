@@ -11,6 +11,8 @@ import (
 	"dnastore/internal/cluster"
 	"dnastore/internal/codec"
 	"dnastore/internal/dna"
+	"dnastore/internal/exec"
+	"dnastore/internal/obs"
 	"dnastore/internal/sim"
 )
 
@@ -187,8 +189,17 @@ func (p *Pipeline) RunStream(ctx context.Context, r io.Reader, w io.Writer, opts
 		return res, ErrNotConfigured
 	}
 	opts = opts.withDefaults()
+	// The run's counters accumulate in a private registry (published into
+	// the Metrics sink on exit); StreamResult.Times is its StageTimes
+	// projection. Per-volume attribution still flows through the per-group
+	// and per-volume registries inside processGroup/processVolume.
+	runReg := p.newRunRegistry()
 	runStart := time.Now() //dnalint:allow determinism -- StreamResult.Times telemetry; timings never influence the emitted bytes
-	defer func() { res.Times.Wall = time.Since(runStart) }()
+	defer func() {
+		res.Times = StageTimesOf(runReg.Snapshot())
+		res.Times.Wall = time.Since(runStart)
+		runReg.Publish(p.Metrics)
+	}()
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -202,22 +213,17 @@ func (p *Pipeline) RunStream(ctx context.Context, r io.Reader, w io.Writer, opts
 	}
 
 	// tickets is the backpressure semaphore: reader takes, writer returns.
-	tickets := make(chan struct{}, opts.InFlight)
-	for i := 0; i < opts.InFlight; i++ {
-		tickets <- struct{}{}
-	}
+	tickets := exec.NewTickets(opts.InFlight)
 	groupCh := make(chan []volumeChunk)
 	workCh := make(chan volumeWork, opts.InFlight)
 	resultCh := make(chan VolumeResult, opts.InFlight)
 
 	// Reader: split r into volumes, assemble fixed pooling groups, respect
 	// the ticket bound. Closing groupCh ends the pipeline's intake.
-	go func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				fail(fmt.Errorf("%w: stream reader: %v", ErrStagePanic, rec))
-			}
-		}()
+	reader := exec.NewGroup(func(rec any) {
+		fail(fmt.Errorf("%w: stream reader: %v", ErrStagePanic, rec))
+	})
+	reader.Go(func() {
 		defer close(groupCh)
 		var group []volumeChunk
 		flush := func() bool {
@@ -233,9 +239,7 @@ func (p *Pipeline) RunStream(ctx context.Context, r io.Reader, w io.Writer, opts
 			}
 		}
 		for id := uint32(0); ; id++ {
-			select {
-			case <-tickets:
-			case <-ctx.Done():
+			if !tickets.Acquire(ctx) {
 				return
 			}
 			buf := make([]byte, opts.VolumeBytes)
@@ -258,70 +262,48 @@ func (p *Pipeline) RunStream(ctx context.Context, r io.Reader, w io.Writer, opts
 				return
 			}
 		}
-	}()
+	})
 
 	// Group workers: encode each member volume, simulate the pooled strands,
 	// demux reads back to per-volume shards.
-	var groupWG sync.WaitGroup
-	for i := 0; i < opts.Workers; i++ {
-		groupWG.Add(1)
-		go func() {
-			defer groupWG.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					fail(fmt.Errorf("%w: stream group worker: %v", ErrStagePanic, rec))
-				}
-			}()
-			for group := range groupCh {
-				if ctx.Err() != nil {
-					return
-				}
-				for _, wk := range p.processGroup(ctx, group, opts) {
-					select {
-					case workCh <- wk:
-					case <-ctx.Done():
-						return
-					}
-				}
+	groupWorkers := exec.NewGroup(func(rec any) {
+		fail(fmt.Errorf("%w: stream group worker: %v", ErrStagePanic, rec))
+	})
+	groupWorkers.GoN(opts.Workers, func(int) {
+		for group := range groupCh {
+			if ctx.Err() != nil {
+				return
 			}
-		}()
-	}
-	go func() {
-		defer func() { _ = recover() }()
-		groupWG.Wait()
-		close(workCh)
-	}()
-
-	// Volume workers: cluster, reconstruct and decode each volume
-	// independently — per-volume panic isolation, retries and best-effort
-	// salvage all come from the shared decode phase.
-	var volWG sync.WaitGroup
-	for i := 0; i < opts.Workers; i++ {
-		volWG.Add(1)
-		go func() {
-			defer volWG.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					fail(fmt.Errorf("%w: stream volume worker: %v", ErrStagePanic, rec))
-				}
-			}()
-			for wk := range workCh {
-				if ctx.Err() != nil {
-					return
-				}
+			for _, wk := range p.processGroup(ctx, group, opts, runReg) {
 				select {
-				case resultCh <- p.processVolume(ctx, wk, opts):
+				case workCh <- wk:
 				case <-ctx.Done():
 					return
 				}
 			}
-		}()
-	}
-	go func() {
-		defer func() { _ = recover() }()
-		volWG.Wait()
-		close(resultCh)
-	}()
+		}
+	})
+	groupWorkers.OnExit(func() { close(workCh) })
+
+	// Volume workers: cluster, reconstruct and decode each volume
+	// independently — per-volume panic isolation, retries and best-effort
+	// salvage all come from the shared decode phase.
+	volWorkers := exec.NewGroup(func(rec any) {
+		fail(fmt.Errorf("%w: stream volume worker: %v", ErrStagePanic, rec))
+	})
+	volWorkers.GoN(opts.Workers, func(int) {
+		for wk := range workCh {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case resultCh <- p.processVolume(ctx, wk, opts, runReg):
+			case <-ctx.Done():
+				return
+			}
+		}
+	})
+	volWorkers.OnExit(func() { close(resultCh) })
 
 	// Writer: restore volume id order, emit bytes, return tickets. Runs on
 	// the caller's goroutine; resultCh closing means every upstream
@@ -364,17 +346,13 @@ func (p *Pipeline) RunStream(ctx context.Context, r io.Reader, w io.Writer, opts
 			res.Reads += cur.Reads
 			res.Clusters += cur.Clusters
 			res.Attempts += cur.Attempts
-			res.Times.add(cur.Times)
 			res.ClusterStats.Add(cur.ClusterStats)
 			if cur.Err != nil {
 				res.FailedVolumes++
 			} else if cur.Outcome == OutcomeSalvaged {
 				res.SalvagedVolumes++
 			}
-			select {
-			case tickets <- struct{}{}:
-			default:
-			}
+			tickets.Release()
 			next++
 		}
 	}
@@ -395,30 +373,42 @@ func (p *Pipeline) RunStream(ctx context.Context, r io.Reader, w io.Writer, opts
 // and demuxes the reads back into per-volume shards. Stage failures degrade
 // the affected volumes (their volumeWork carries the error) instead of
 // failing the run — except cancellation, which the caller observes via ctx.
-func (p *Pipeline) processGroup(ctx context.Context, group []volumeChunk, opts StreamOptions) []volumeWork {
+// Counters record into a private per-group registry (concurrent groups
+// never share counters mid-flight, so per-volume busy deltas are exact) and
+// publish into sink at the end; sink's hooks fire live.
+func (p *Pipeline) processGroup(ctx context.Context, group []volumeChunk, opts StreamOptions, sink *obs.Registry) []volumeWork {
+	greg := obs.NewRegistry()
+	greg.InheritHooks(sink)
+	defer greg.Publish(sink)
+	enc := greg.Stage(stageEncode)
 	works := make([]volumeWork, len(group))
 	var pooled []dna.Seq
 	for i, ch := range group {
 		works[i] = volumeWork{id: ch.id, bytes: len(ch.data)}
+		enc.AddIn(int64(len(ch.data)))
 		var strands []dna.Seq
-		start := time.Now() //dnalint:allow determinism -- StreamResult.Times telemetry; timings never influence the emitted bytes
-		err := runStage(ctx, "encode", opts.StageTimeout, func(_ context.Context) error {
+		// The loop is serial, so this volume's encode time is the stage's
+		// busy delta around its call.
+		encBefore := enc.Busy()
+		err := runStage(ctx, enc, opts.StageTimeout, func(_ context.Context) error {
 			var eerr error
 			strands, eerr = p.Codec.EncodeVolume(ch.id, opts.VolumeBytes, ch.data)
 			return eerr
 		})
-		works[i].times.Encode = time.Since(start)
+		works[i].times.Encode = enc.Busy() - encBefore
 		if err != nil {
 			works[i].err = err
 			continue
 		}
+		enc.AddOut(int64(len(strands)))
 		works[i].strands = len(strands)
 		pooled = append(pooled, strands...)
 	}
 
+	simSt := greg.Stage(stageSimulate)
+	simSt.AddIn(int64(len(pooled)))
 	var reads []sim.Read
-	start := time.Now() //dnalint:allow determinism -- StreamResult.Times telemetry; timings never influence the emitted bytes
-	err := runStage(ctx, "simulate", opts.StageTimeout, func(ctx context.Context) error {
+	err := runStage(ctx, simSt, opts.StageTimeout, func(ctx context.Context) error {
 		var serr error
 		// The per-group simulation seed derives from the group's first
 		// volume id, so a group's reads depend only on (options, group) —
@@ -430,7 +420,7 @@ func (p *Pipeline) processGroup(ctx context.Context, group []volumeChunk, opts S
 		}
 		return serr
 	})
-	simDur := time.Since(start)
+	simDur := simSt.Busy()
 	if err != nil {
 		// The whole group's sample is lost (panic, stage timeout): each
 		// member that still had a chance fails with this error. The run
@@ -442,6 +432,7 @@ func (p *Pipeline) processGroup(ctx context.Context, group []volumeChunk, opts S
 		}
 		return works
 	}
+	simSt.AddOut(int64(len(reads)))
 
 	// Demux: route each pooled read to its volume by unmasked index prefix.
 	// Reads that are too short, carry an out-of-range index, or point at a
@@ -449,22 +440,30 @@ func (p *Pipeline) processGroup(ctx context.Context, group []volumeChunk, opts S
 	// the archive) go to the spill count — never silently dropped, and never
 	// migrated into a concurrently-processed group, which would make output
 	// depend on scheduling.
+	dmx := greg.Stage(stageDemux)
+	dmx.AddIn(int64(len(reads)))
 	capacity := p.Codec.VolumeCapacity(opts.VolumeBytes)
 	first := group[0].id
 	shards := make([][]dna.Seq, len(group))
 	spilled := 0
-	for i, rd := range reads {
-		if i&1023 == 1023 && ctx.Err() != nil {
-			break // unwinding; partial shards are fine, the run is over
+	//dnalint:allow errflow -- the demux closure always returns nil; Time only relays it
+	_ = dmx.Time(func() error {
+		for i, rd := range reads {
+			if i&1023 == 1023 && ctx.Err() != nil {
+				break // unwinding; partial shards are fine, the run is over
+			}
+			id, ok := p.Codec.ReadVolumeID(rd.Seq, capacity)
+			j := int(id) - int(first)
+			if !ok || j < 0 || j >= len(group) || works[j].err != nil {
+				spilled++
+				continue
+			}
+			shards[j] = append(shards[j], rd.Seq)
 		}
-		id, ok := p.Codec.ReadVolumeID(rd.Seq, capacity)
-		j := int(id) - int(first)
-		if !ok || j < 0 || j >= len(group) || works[j].err != nil {
-			spilled++
-			continue
-		}
-		shards[j] = append(shards[j], rd.Seq)
-	}
+		return nil
+	})
+	dmx.AddOut(int64(len(reads) - spilled))
+	dmx.AddSpills(int64(spilled))
 	works[0].spilled = spilled
 	simShare := simDur / time.Duration(len(group))
 	for i := range works {
@@ -477,11 +476,20 @@ func (p *Pipeline) processGroup(ctx context.Context, group []volumeChunk, opts S
 // processVolume runs one volume through cluster → reconstruct → decode,
 // reusing the batch pipeline's attempt loop (escalation, retries,
 // best-effort salvage) with the volume decoder. All failures are contained
-// in the VolumeResult.
-func (p *Pipeline) processVolume(ctx context.Context, wk volumeWork, opts StreamOptions) (out VolumeResult) {
+// in the VolumeResult. Counters record into a private per-volume registry
+// (published into sink at the end); VolumeResult.Times is its StageTimes
+// projection on top of the group stage's attribution.
+func (p *Pipeline) processVolume(ctx context.Context, wk volumeWork, opts StreamOptions, sink *obs.Registry) (out VolumeResult) {
+	vreg := obs.NewRegistry()
+	vreg.InheritHooks(sink)
 	// Every return path carries an outcome record: the deferred finalize
-	// classifies the result after Err/Report settle.
-	defer func() { out.finalizeOutcome(p.Codec.UnitDataBytes()) }()
+	// classifies the result after Err/Report settle, and the volume's
+	// cluster/reconstruct/decode busy times come from its own registry.
+	defer func() {
+		out.Times.add(StageTimesOf(vreg.Snapshot()))
+		vreg.Publish(sink)
+		out.finalizeOutcome(p.Codec.UnitDataBytes())
+	}()
 	vr := VolumeResult{
 		ID:      wk.id,
 		Bytes:   wk.bytes,
@@ -495,9 +503,10 @@ func (p *Pipeline) processVolume(ctx context.Context, wk volumeWork, opts Stream
 		return vr
 	}
 
+	cluSt := vreg.Stage(stageCluster)
+	cluSt.AddIn(int64(len(wk.reads)))
 	var clu cluster.Result
-	start := time.Now() //dnalint:allow determinism -- StreamResult.Times telemetry; timings never influence the emitted bytes
-	err := runStage(ctx, "cluster", opts.StageTimeout, func(ctx context.Context) error {
+	err := runStage(ctx, cluSt, opts.StageTimeout, func(ctx context.Context) error {
 		var cerr error
 		if vc, ok := p.Clusterer.(VolumeClusterer); ok {
 			clu, cerr = vc.ClusterVolume(ctx, wk.id, wk.reads)
@@ -506,11 +515,11 @@ func (p *Pipeline) processVolume(ctx context.Context, wk volumeWork, opts Stream
 		}
 		return cerr
 	})
-	vr.Times.Cluster = time.Since(start)
 	if err != nil {
 		vr.Err = err
 		return vr
 	}
+	cluSt.AddOut(int64(len(clu.Clusters)))
 	vr.Clusters = len(clu.Clusters)
 	spilled := vr.ClusterStats.Spilled
 	vr.ClusterStats = clu.Stats
@@ -523,7 +532,7 @@ func (p *Pipeline) processVolume(ctx context.Context, wk volumeWork, opts Stream
 			_, data, rep, derr := p.Codec.DecodeVolumeContext(ctx, wk.id, opts.VolumeBytes, recons, o)
 			return data, rep, derr
 		},
-	}, opts.RunOptions, wk.reads, clu.Clusters, &vr.Times)
+	}, opts.RunOptions, wk.reads, clu.Clusters, vreg)
 	vr.Attempts = outcome.Attempts
 	vr.Report = outcome.Report
 	vr.Data = outcome.Data

@@ -122,7 +122,10 @@ func (p *Pipeline) EncodeVolumes(ctx context.Context, r io.Reader, opts StreamOp
 		if len(group) == 0 {
 			return nil
 		}
-		works := p.processGroup(ctx, group, opts)
+		// p.Metrics (possibly nil) is the sink: archive workers and other
+		// per-volume callers accumulate straight into the pipeline's
+		// registry, one atomic publish per pooling group.
+		works := p.processGroup(ctx, group, opts, p.Metrics)
 		if err := ctx.Err(); err != nil {
 			return cancelErr(ctx, "encode-volumes")
 		}
@@ -182,5 +185,5 @@ func (p *Pipeline) DecodeVolume(ctx context.Context, wk VolumeWork, opts StreamO
 	return p.processVolume(ctx, volumeWork{
 		id: wk.ID, bytes: wk.Bytes, strands: wk.Strands,
 		reads: wk.Reads, spilled: wk.Spilled, err: wk.Err,
-	}, opts)
+	}, opts, p.Metrics)
 }

@@ -33,12 +33,11 @@ package recon
 import (
 	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"dnastore/internal/align"
 	"dnastore/internal/dna"
 	"dnastore/internal/edit"
+	"dnastore/internal/exec"
 )
 
 // Algorithm reconstructs a consensus strand from a cluster of noisy reads.
@@ -511,38 +510,20 @@ func ReconstructAllContext(ctx context.Context, clusters [][]dna.Seq, targetLen 
 	if workers > len(clusters) {
 		workers = len(clusters)
 	}
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Worker-level backstop: reconstructOne already salvages per-
-			// cluster panics, but a panic in the dispatch loop itself must
-			// not kill the process — the worker's remaining clusters stay
-			// nil, which the decoder treats as erasures.
-			defer func() { _ = recover() }()
-			// Each worker owns one Scratch: algorithms that implement
-			// ScratchReconstructor reuse its POA graph, edit kernels and
-			// BMA buffers across every cluster this worker reconstructs,
-			// instead of allocating fresh tables per cluster. The scratch
-			// is never shared — see DESIGN.md "Performance".
-			var sc Scratch
-			for i := w; i < len(clusters); i += workers {
-				if stop.Load() {
-					return
-				}
-				if ctx.Err() != nil {
-					stop.Store(true)
-					return
-				}
-				if len(clusters[i]) > 0 {
-					out[i] = reconstructOne(algo, &sc, clusters[i], targetLen)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	// Each worker owns one Scratch slot: algorithms that implement
+	// ScratchReconstructor reuse its POA graph, edit kernels and BMA
+	// buffers across every cluster that worker reconstructs, instead of
+	// allocating fresh tables per cluster. exec.ParallelForW guarantees
+	// calls for one worker ID never overlap, so slot w is never shared —
+	// see DESIGN.md "Performance". Per-item and worker-level panic
+	// containment live in the executor: a panicking cluster stays nil,
+	// which the decoder treats as an erasure.
+	scratch := make([]Scratch, workers)
+	exec.ParallelForW(ctx, workers, len(clusters), func(w, i int) {
+		if len(clusters[i]) > 0 {
+			out[i] = reconstructOne(algo, &scratch[w], clusters[i], targetLen)
+		}
+	})
 	if err := context.Cause(ctx); err != nil {
 		return nil, err
 	}
